@@ -1,0 +1,316 @@
+// Command gfcsim reproduces the evaluation of "Gentle Flow Control:
+// Avoiding Deadlock in Lossless Networks" (SIGCOMM 2019). Each experiment
+// regenerates the rows or series of one table or figure of the paper.
+//
+// Usage:
+//
+//	gfcsim -exp <experiment> [flags]
+//
+// Experiments: fig5, fig9, fig10, fig12, fig13, fig14, fig15, table1,
+// fig16, fig17, fig18, fig19, fig20. See EXPERIMENTS.md for what each
+// reports and how it maps to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gfcsim/gfc/internal/experiments"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/units"
+	"github.com/gfcsim/gfc/internal/viz"
+)
+
+var (
+	expName  = flag.String("exp", "", "experiment to run (fig5, fig9, ..., table1)")
+	duration = flag.Duration("duration", 0, "override simulated duration (e.g. 50ms)")
+	networks = flag.Int("networks", 300, "table1/fig16/fig17: scenarios to scan per scale")
+	repeats  = flag.Int("repeats", 3, "table1: workload repeats per scenario")
+	scales   = flag.String("scales", "4,8", "table1: comma-separated fat-tree arities")
+	seed     = flag.Int64("seed", 1, "base random seed")
+	series   = flag.Bool("series", false, "print raw time-series data points")
+	chart    = flag.Bool("chart", false, "render time series as ASCII charts")
+)
+
+func main() {
+	flag.Parse()
+	if *expName == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch *expName {
+	case "fig5":
+		err = runFig5()
+	case "fig9":
+		err = runRing(experiments.PFC, experiments.GFCBuf)
+	case "fig10":
+		err = runRing(experiments.CBFC, experiments.GFCTime)
+	case "fig12":
+		err = runCaseStudy(experiments.PFC, experiments.GFCBuf)
+	case "fig13":
+		err = runCaseStudy(experiments.CBFC, experiments.GFCTime)
+	case "fig14":
+		err = runVictim()
+	case "fig15":
+		fmt.Print(experiments.Fig15Rows().String())
+	case "table1", "fig16", "fig17":
+		err = runSweep(*expName)
+	case "fig18":
+		err = runEvolution()
+	case "fig19":
+		err = runOverhead()
+	case "fig20":
+		err = runFig20()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func dur(def units.Time) units.Time {
+	if *duration > 0 {
+		return units.Time(*duration)
+	}
+	return def
+}
+
+func printSeries(name string, s *stats.Series, max int) {
+	if *chart {
+		c := viz.DefaultChart(name)
+		switch {
+		case strings.Contains(name, "rate"):
+			c.FormatY = viz.FormatRate
+		case strings.Contains(name, "queue"):
+			c.FormatY = viz.FormatSize
+		}
+		fmt.Print(c.Render(s))
+	}
+	if !*series {
+		return
+	}
+	d := s.Downsample(max)
+	fmt.Printf("# %s\n", name)
+	for i := range d.T {
+		fmt.Printf("%.3f\t%.0f\n", d.T[i].Millis(), d.V[i])
+	}
+}
+
+func runFig5() error {
+	fmt.Println("Figure 5: input rate and queue evolution, 2-to-1 congestion (C=10G, τ=25µs)")
+	for _, fc := range []experiments.FC{experiments.PFC, experiments.GFCConceptual} {
+		res, err := experiments.RunFig5(fc, dur(20*units.Millisecond))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s steady queue %-8v (paper: PFC saws at XON/XOFF=77/80KB; GFC settles at B_s=75KB) drops=%d\n",
+			res.FC, res.SteadyQueue, res.Drops)
+		printSeries(string(res.FC)+" queue (bytes)", res.Queue, 60)
+		printSeries(string(res.FC)+" rate (bps)", res.Rate, 60)
+	}
+	return nil
+}
+
+func runRing(pause, gentle experiments.FC) error {
+	fmt.Printf("Figures 9/10: 3-switch ring, testbed parameters (1MB buffers, τ=90µs)\n\n")
+	fmt.Println("(a) deadlock formation regime (2 hosts/switch):")
+	for _, fc := range []experiments.FC{pause, gentle} {
+		res, err := experiments.RunRing(experiments.RingConfig{
+			FC: fc, Duration: dur(200 * units.Millisecond), HostsPerSwitch: 2,
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "no deadlock"
+		if res.Deadlocked {
+			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
+		}
+		fmt.Printf("  %-12s %-22s drops=%d\n", fc, verdict, res.Drops)
+	}
+	fmt.Println("\n(b) steady state, critically loaded (1 host/switch):")
+	for _, fc := range []experiments.FC{pause, gentle} {
+		res, err := experiments.RunRing(experiments.RingConfig{
+			FC: fc, Duration: dur(60 * units.Millisecond),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s steady queue %-9v steady rate %-9v (paper GFC: ≈840KB/5G buffer-based, ≈745KB/5G time-based)\n",
+			fc, res.SteadyQueue, res.SteadyRate)
+		printSeries(string(fc)+" queue", res.Queue, 60)
+	}
+	return nil
+}
+
+func runCaseStudy(pause, gentle experiments.FC) error {
+	fmt.Println("Figures 12/13: k=4 fat-tree with failed links, CBD C1→A3→C2→A7→C1")
+	fmt.Println("\n(a) deadlock formation (with cross-flow squeeze):")
+	for _, fc := range []experiments.FC{pause, gentle} {
+		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
+			FC: fc, Duration: dur(60 * units.Millisecond), WithCross: true,
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "no deadlock"
+		if res.Deadlocked {
+			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
+		}
+		fmt.Printf("  %-12s %-22s drops=%d\n", fc, verdict, res.Drops)
+	}
+	fmt.Println("\n(b) steady state (the paper's four flows):")
+	for _, fc := range []experiments.FC{pause, gentle} {
+		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
+			FC: fc, Duration: dur(60 * units.Millisecond),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s per-flow rates:", fc)
+		for _, r := range res.FlowRates {
+			fmt.Printf(" %v", r)
+		}
+		fmt.Printf("  (paper: 5G each under GFC)\n")
+	}
+	return nil
+}
+
+func runVictim() error {
+	fmt.Println("Figure 14: victim flow H12→H4 (shares switches with the CBD, avoids its channels)")
+	for _, fc := range experiments.AllFCs() {
+		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
+			FC: fc, Duration: dur(60 * units.Millisecond),
+			WithCross: true, WithVictim: true,
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "alive"
+		if res.Deadlocked {
+			verdict = "DEADLOCK"
+		}
+		progress := "frozen"
+		if res.VictimProgressed {
+			progress = "progressing"
+		}
+		fmt.Printf("  %-12s %-9s victim: %v delivered, %s\n",
+			fc, verdict, res.VictimTotal, progress)
+	}
+	fmt.Println("(paper: the victim freezes once PFC/CBFC deadlock; under GFC it keeps moving)")
+	return nil
+}
+
+func runSweep(which string) error {
+	var ks []int
+	for _, s := range splitComma(*scales) {
+		var k int
+		fmt.Sscanf(s, "%d", &k)
+		if k > 0 {
+			ks = append(ks, k)
+		}
+	}
+	results := make(map[int]map[experiments.FC]*experiments.SweepResult)
+	for _, k := range ks {
+		results[k] = make(map[experiments.FC]*experiments.SweepResult)
+		cfg := experiments.DefaultSweep(k)
+		cfg.Networks = *networks
+		cfg.Repeats = *repeats
+		cfg.Seed = *seed
+		cfg.Duration = dur(cfg.Duration)
+		for _, fc := range experiments.AllFCs() {
+			fmt.Fprintf(os.Stderr, "sweep k=%d %s...\n", k, fc)
+			res, err := experiments.RunSweep(fc, cfg)
+			if err != nil {
+				return err
+			}
+			results[k][fc] = res
+		}
+	}
+	switch which {
+	case "table1":
+		fmt.Println("Table 1: deadlock cases (paper: PFC=CBFC>0 and falling with scale; GFC=0)")
+		fmt.Print(experiments.Table1Rows(results, ks).String())
+	case "fig16":
+		fmt.Println("Figure 16: average available bandwidth over deadlock-free runs")
+		fmt.Print(experiments.Fig16Rows(results, ks).String())
+	case "fig17":
+		fmt.Println("Figure 17: average slowdown (normalised to the per-scale minimum)")
+		fmt.Print(experiments.Fig17Rows(results, ks).String())
+	}
+	return nil
+}
+
+func runEvolution() error {
+	fmt.Println("Figure 18: network throughput evolution on a deadlock-prone scenario")
+	for _, fc := range []experiments.FC{experiments.PFC, experiments.GFCBuf} {
+		cfg := experiments.DefaultEvolution(fc)
+		cfg.Duration = dur(cfg.Duration)
+		res, err := experiments.RunEvolution(cfg)
+		if err != nil {
+			return err
+		}
+		verdict := "no deadlock"
+		if res.Deadlocked {
+			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
+		}
+		fmt.Printf("  %-12s %-22s final aggregate %-10v drops=%d\n",
+			fc, verdict, res.FinalRate, res.Drops)
+		if *series {
+			for i, r := range res.Throughput.Rates() {
+				fmt.Printf("%.1f\t%.0f\n", (units.Time(i) * res.Throughput.Width).Millis(), float64(r))
+			}
+		}
+	}
+	return nil
+}
+
+func runOverhead() error {
+	res, err := experiments.RunOverhead(experiments.OverheadConfig{
+		Seed: *seed, Duration: dur(10 * units.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 19: buffer-based GFC feedback bandwidth per port (fraction of 10G)")
+	fmt.Printf("  mean %.4f%%  p99 %.4f%%  max %.4f%%\n",
+		res.Mean*100, res.P99*100, res.Max*100)
+	fmt.Println("  (paper: mean 0.21%, 99% of ports < 0.4%, max 0.49%)")
+	return nil
+}
+
+func runFig20() error {
+	res, err := experiments.RunFig20(dur(20 * units.Millisecond))
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 20: GFC + DCQCN interaction (8:1 incast, ECN K=40KB)")
+	fmt.Printf("  max ingress queue %v (buffer 300KB), final DCQCN rate %v (fair share 1.25G), drops=%d\n",
+		res.MaxQueue, res.FinalDCQCN, res.Drops)
+	printSeries("queue", res.Queue, 60)
+	printSeries("dcqcn-rate", res.DCQCNRate, 60)
+	printSeries("gfc-rate", res.GFCRate, 60)
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

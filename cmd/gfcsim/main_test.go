@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestSplitComma(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"4,8", []string{"4", "8"}},
+		{"4", []string{"4"}},
+		{"", nil},
+		{"4,8,16", []string{"4", "8", "16"}},
+		{"4,", []string{"4"}},
+	}
+	for _, c := range cases {
+		got := splitComma(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitComma(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitComma(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

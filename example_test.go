@@ -1,0 +1,81 @@
+package gfc_test
+
+import (
+	"fmt"
+
+	gfc "github.com/gfcsim/gfc"
+)
+
+// ExampleNewSimulation runs the paper's Figure 1 scenario under Gentle Flow
+// Control and confirms no deadlock forms.
+func ExampleNewSimulation() {
+	topo := gfc.Ring(3, gfc.DefaultLinkParams())
+	sim, err := gfc.NewSimulation(topo, gfc.Options{
+		BufferSize:  1000 * gfc.KB,
+		Tau:         90 * gfc.Microsecond,
+		FlowControl: gfc.NewGFCBuffer(gfc.GFCBufferConfig{}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, path := range gfc.RingClockwisePaths(topo, 3) {
+		f := &gfc.Flow{
+			Src:  path[0].Node,
+			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+			Path: path,
+		}
+		if err := sim.AddFlow(f, 0); err != nil {
+			panic(err)
+		}
+	}
+	det := gfc.NewDeadlockDetector(sim)
+	det.Install()
+	sim.Run(20 * gfc.Millisecond)
+	fmt.Println("deadlocked:", det.Deadlocked() != nil)
+	fmt.Println("lossless:", sim.Drops() == 0)
+	// Output:
+	// deadlocked: false
+	// lossless: true
+}
+
+// ExampleNewSafeStageTable derives the §5.4 buffer-based GFC parameters for
+// a 10 GbE port.
+func ExampleNewSafeStageTable() {
+	c := 10 * gfc.Gbps
+	tau := gfc.Tau(c, 1500*gfc.Byte, gfc.Microsecond, 3*gfc.Microsecond)
+	bm := 1000 * gfc.KB
+	b1 := gfc.BufferBasedB1Bound(bm, c, tau)
+	table, err := gfc.NewSafeStageTable(c, bm, b1, tau)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tau:", tau)
+	fmt.Println("R1:", table.StageRate(1))
+	fmt.Println("R2:", table.StageRate(2))
+	// Output:
+	// tau: 7.4µs
+	// R1: 5Gbps
+	// R2: 2.5Gbps
+}
+
+// ExampleContinuousMapping shows the Figure 5 steady state: with a 5 Gb/s
+// draining rate the queue settles at B_s = 75 KB.
+func ExampleContinuousMapping() {
+	m := gfc.ContinuousMapping{C: 10 * gfc.Gbps, B0: 50 * gfc.KB, Bm: 100 * gfc.KB}
+	fmt.Println("B_s:", m.SteadyQueue(5*gfc.Gbps))
+	fmt.Println("rate at B_s:", m.Rate(75*gfc.KB))
+	// Output:
+	// B_s: 75KB
+	// rate at B_s: 5Gbps
+}
+
+// ExampleCBDFromAllPairs checks a topology for cyclic buffer dependencies
+// before deployment.
+func ExampleCBDFromAllPairs() {
+	topo := gfc.FatTree(4, gfc.DefaultLinkParams())
+	tab := gfc.NewSPF(topo)
+	g := gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo))
+	fmt.Println("CBD possible:", g.HasCycle())
+	// Output:
+	// CBD possible: false
+}

@@ -1,0 +1,82 @@
+// Quickstart: build the paper's Figure 1 deadlock ring, run it under PFC
+// and under Gentle Flow Control, and watch PFC deadlock while GFC keeps
+// every flow moving.
+package main
+
+import (
+	"fmt"
+
+	gfc "github.com/gfcsim/gfc"
+)
+
+func run(name string, factory gfc.FlowControlFactory) {
+	// Three switches in a cycle, two hosts each; every host sends an
+	// unbounded flow two switches clockwise, creating a cyclic buffer
+	// dependency with oversubscribed cycle links.
+	topo := gfc.RingHosts(3, 2, gfc.DefaultLinkParams())
+	sim, err := gfc.NewSimulation(topo, gfc.Options{
+		BufferSize:  1000 * gfc.KB,
+		Tau:         90 * gfc.Microsecond,
+		FlowControl: factory,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var flows []*gfc.Flow
+	for i, path := range gfc.RingClockwisePaths(topo, 3) {
+		_ = i
+		f := &gfc.Flow{
+			ID:   len(flows) + 1,
+			Src:  path[0].Node,
+			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+			Path: path,
+		}
+		if err := sim.AddFlow(f, 0); err != nil {
+			panic(err)
+		}
+		flows = append(flows, f)
+	}
+	// Add the sibling hosts' flows too (they share the same pattern).
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("H%db", i+1)
+		s1 := fmt.Sprintf("S%d", i+1)
+		s2 := fmt.Sprintf("S%d", (i+1)%3+1)
+		s3 := fmt.Sprintf("S%d", (i+2)%3+1)
+		dst := fmt.Sprintf("H%db", (i+2)%3+1)
+		path, err := gfc.ExplicitPath(topo, src, s1, s2, s3, dst)
+		if err != nil {
+			panic(err)
+		}
+		f := &gfc.Flow{
+			ID:   len(flows) + 1,
+			Src:  path[0].Node,
+			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+			Path: path,
+		}
+		if err := sim.AddFlow(f, 0); err != nil {
+			panic(err)
+		}
+		flows = append(flows, f)
+	}
+
+	det := gfc.NewDeadlockDetector(sim)
+	det.Install()
+	sim.Run(100 * gfc.Millisecond)
+
+	var delivered gfc.Size
+	for _, f := range flows {
+		delivered += f.Delivered
+	}
+	fmt.Printf("%-12s delivered=%-10v drops=%d ", name, delivered, sim.Drops())
+	if rep := det.Deadlocked(); rep != nil {
+		fmt.Printf("DEADLOCK at %v (cycle of %d channels)\n", rep.At, len(rep.Cycle))
+	} else {
+		fmt.Println("no deadlock — all buffers kept draining")
+	}
+}
+
+func main() {
+	fmt.Println("Figure 1 deadlock ring, 6 unbounded flows, 100 ms:")
+	run("PFC", gfc.NewPFC(gfc.PFCConfig{XOFF: 800 * gfc.KB, XON: 797 * gfc.KB}))
+	run("GFC", gfc.NewGFCBuffer(gfc.GFCBufferConfig{B1: 750 * gfc.KB}))
+}

@@ -1,0 +1,96 @@
+package gfc_test
+
+import (
+	"testing"
+
+	gfc "github.com/gfcsim/gfc"
+)
+
+// TestPublicAPIQuickstart exercises the façade end to end the way the
+// README shows: build the Figure 1 ring, run GFC, observe no deadlock.
+func TestPublicAPIQuickstart(t *testing.T) {
+	topo := gfc.Ring(3, gfc.DefaultLinkParams())
+	sim, err := gfc.NewSimulation(topo, gfc.Options{
+		BufferSize:  1000 * gfc.KB,
+		Tau:         90 * gfc.Microsecond,
+		FlowControl: gfc.NewGFCBuffer(gfc.GFCBufferConfig{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range gfc.RingClockwisePaths(topo, 3) {
+		f := &gfc.Flow{
+			Src:  path[0].Node,
+			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+			Path: path,
+		}
+		if err := sim.AddFlow(f, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det := gfc.NewDeadlockDetector(sim)
+	det.Install()
+	sim.Run(20 * gfc.Millisecond)
+	if det.Deadlocked() != nil {
+		t.Fatal("GFC deadlocked")
+	}
+	if sim.Drops() != 0 {
+		t.Fatalf("drops = %d", sim.Drops())
+	}
+	if sim.TotalDelivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestPublicAPIMath spot-checks the re-exported parameter mathematics.
+func TestPublicAPIMath(t *testing.T) {
+	tau := gfc.Tau(10*gfc.Gbps, 1500*gfc.Byte, gfc.Microsecond, 3*gfc.Microsecond)
+	if tau < 7*gfc.Microsecond || tau > 8*gfc.Microsecond {
+		t.Fatalf("Tau = %v, want ≈7.4µs", tau)
+	}
+	b1 := gfc.BufferBasedB1Bound(1000*gfc.KB, 10*gfc.Gbps, tau)
+	if b1 >= 1000*gfc.KB || b1 <= 900*gfc.KB {
+		t.Fatalf("B1 bound = %v", b1)
+	}
+	st, err := gfc.NewSafeStageTable(10*gfc.Gbps, 1000*gfc.KB, b1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StageRate(1) != 5*gfc.Gbps {
+		t.Fatalf("R1 = %v", st.StageRate(1))
+	}
+	m := gfc.ContinuousMapping{C: 10 * gfc.Gbps, B0: 50 * gfc.KB, Bm: 100 * gfc.KB}
+	if m.SteadyQueue(5*gfc.Gbps) != 75*gfc.KB {
+		t.Fatal("SteadyQueue wrong through the façade")
+	}
+}
+
+// TestPublicAPICBD checks the static analysis entry points.
+func TestPublicAPICBD(t *testing.T) {
+	topo := gfc.FatTree(4, gfc.DefaultLinkParams())
+	tab := gfc.NewSPF(topo)
+	g := gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo))
+	if g.HasCycle() {
+		t.Fatal("healthy fat-tree reported CBD")
+	}
+}
+
+// TestPublicAPIWorkload drives the traffic generator through the façade.
+func TestPublicAPIWorkload(t *testing.T) {
+	topo := gfc.FatTree(4, gfc.DefaultLinkParams())
+	sim, err := gfc.NewSimulation(topo, gfc.Options{
+		BufferSize:  300 * gfc.KB,
+		FlowControl: gfc.NewPFCDefault(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := gfc.NewTrafficGenerator(sim, gfc.NewSPF(topo), gfc.EnterpriseWorkload(), gfc.EdgeRacks(topo), 11)
+	if err := gen.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(gfc.Millisecond)
+	if len(gen.Completed) == 0 {
+		t.Fatal("no flows completed")
+	}
+}

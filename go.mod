@@ -1,0 +1,3 @@
+module github.com/gfcsim/gfc
+
+go 1.22

@@ -1,0 +1,470 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gfcsim/gfc/internal/cbd"
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// --- Up*/Down* ---
+
+func TestUpDownPathsLegal(t *testing.T) {
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	ud, err := NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Hosts()
+	for _, s := range hosts[:4] {
+		for _, d := range hosts[len(hosts)-4:] {
+			if s == d {
+				continue
+			}
+			p, err := ud.Path(s, d)
+			if err != nil {
+				t.Fatalf("%v->%v: %v", s, d, err)
+			}
+			// Verify up-then-down: once a down move happens, no up.
+			down := false
+			for i := 0; i+1 < len(p); i++ {
+				a, b := p[i].Node, p[i+1].Node
+				up := ud.isUp(a, b)
+				if topo.Node(b).Kind == topology.Host {
+					up = false
+				}
+				if topo.Node(a).Kind == topology.Host {
+					up = true
+				}
+				if up && down {
+					t.Fatalf("illegal down->up at hop %d of %v->%v", i, s, d)
+				}
+				if !up {
+					down = true
+				}
+			}
+			// Ends at d.
+			last := p[len(p)-1]
+			if last.Link.Other(last.Node) != d {
+				t.Fatalf("path does not end at destination")
+			}
+		}
+	}
+}
+
+func TestUpDownIsCBDFree(t *testing.T) {
+	// The defining property: the union of up*/down* paths over ALL host
+	// pairs can never contain a cyclic buffer dependency — even on
+	// randomly failed topologies where SPF unions can.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topology.FatTree(4, topology.DefaultLinkParams())
+		topo.FailRandomLinks(rng, 0.08)
+		ud, err := NewUpDown(topo)
+		if err != nil {
+			return false
+		}
+		g := cbd.NewGraph(topo)
+		hosts := topo.Hosts()
+		for _, s := range hosts {
+			for _, d := range hosts {
+				if s == d {
+					continue
+				}
+				p, err := ud.Path(s, d)
+				if err != nil {
+					continue // disconnected under up*/down*
+				}
+				g.AddPath(p)
+			}
+		}
+		return !g.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpDownRingBreaksCycle(t *testing.T) {
+	// On the ring, up*/down* refuses the route around the cycle: the
+	// union of its paths is acyclic while the clockwise pattern is not.
+	topo := topology.Ring(3, topology.DefaultLinkParams())
+	ud, err := NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cbd.NewGraph(topo)
+	hosts := topo.Hosts()
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			p, err := ud.Path(s, d)
+			if err != nil {
+				t.Fatalf("ring pair unreachable under up*/down*: %v", err)
+			}
+			g.AddPath(p)
+		}
+	}
+	if g.HasCycle() {
+		t.Fatal("up*/down* produced a CBD on the ring")
+	}
+}
+
+func TestUpDownStretch(t *testing.T) {
+	// The cost side: on a healthy fat-tree up*/down* should be close to
+	// shortest, but on a ring some pairs take the long way round.
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	ud, err := NewUpDown(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewSPF(topo)
+	mean, inflated, err := ud.AllPairsStretch(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 1.0 {
+		t.Fatalf("mean stretch %v < 1", mean)
+	}
+	if mean > 1.5 {
+		t.Errorf("fat-tree up*/down* stretch %v unexpectedly high", mean)
+	}
+	_ = inflated
+	// Ring: the long-way-round cost must show up.
+	ring := topology.Ring(5, topology.DefaultLinkParams())
+	udr, err := NewUpDown(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmean, rinfl, err := udr.AllPairsStretch(routing.NewSPF(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfl == 0 {
+		t.Errorf("no inflated pairs on a 5-ring (mean %v)", rmean)
+	}
+}
+
+// --- Dateline ---
+
+func ringDeadlockSim(t *testing.T, prios int, esc func(*netsim.Packet, topology.NodeID) int) (*netsim.Network, *deadlock.Detector) {
+	t.Helper()
+	topo := topology.RingHosts(3, 2, topology.DefaultLinkParams())
+	cfg := netsim.Config{
+		BufferSize: 1000 * units.KB,
+		Tau:        90 * units.Microsecond,
+		Priorities: prios,
+		FlowControl: flowcontrol.NewPFC(flowcontrol.PFCConfig{
+			XOFF: 800 * units.KB, XON: 797 * units.KB}),
+		Escalation: esc,
+	}
+	n, err := netsim.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, path := range routing.RingHostsClockwisePaths(topo, 3, 2) {
+		f := &netsim.Flow{ID: i + 1, Src: path[0].Node,
+			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+			Path: path}
+		if err := n.AddFlow(f, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det := deadlock.NewDetector(n)
+	det.Install()
+	return n, det
+}
+
+func TestDatelineAvoidsRingDeadlock(t *testing.T) {
+	// Control: plain PFC deadlocks on this ring.
+	n0, det0 := ringDeadlockSim(t, 1, nil)
+	n0.Run(100 * units.Millisecond)
+	if det0.Deadlocked() == nil {
+		t.Fatal("control run did not deadlock; dateline test is vacuous")
+	}
+
+	// Dateline: two priority classes, escalate on the S3→S1 crossing.
+	topoRef := topology.RingHosts(3, 2, topology.DefaultLinkParams())
+	esc, err := Dateline(topoRef, "S3", "S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note the escalation hook must be built against the simulation's
+	// own topology for node IDs to match; rebuild inline.
+	n1, det1 := ringDeadlockSim(t, 2, func(pkt *netsim.Packet, at topology.NodeID) int {
+		return esc(pkt, at)
+	})
+	n1.Run(150 * units.Millisecond)
+	if rep := det1.Deadlocked(); rep != nil {
+		t.Fatalf("dateline PFC deadlocked: %+v", rep)
+	}
+	if n1.Drops() != 0 {
+		t.Fatalf("drops = %d", n1.Drops())
+	}
+	if n1.TotalDelivered() <= n0.TotalDelivered() {
+		t.Errorf("dateline delivered %v, control (deadlocked) %v",
+			n1.TotalDelivered(), n0.TotalDelivered())
+	}
+}
+
+func TestDatelineErrors(t *testing.T) {
+	topo := topology.Ring(3, topology.DefaultLinkParams())
+	if _, err := Dateline(topo, "nope", "S1"); err == nil {
+		t.Error("unknown from accepted")
+	}
+	if _, err := Dateline(topo, "S1", "nope"); err == nil {
+		t.Error("unknown to accepted")
+	}
+	if _, err := Dateline(topo, "S1", "H2"); err == nil {
+		t.Error("non-adjacent pair accepted")
+	}
+}
+
+func TestEscalationValidation(t *testing.T) {
+	topo := topology.Linear(2, topology.DefaultLinkParams())
+	cfg := netsim.Config{
+		BufferSize:  300 * units.KB,
+		FlowControl: flowcontrol.NewPFCDefault(),
+		Escalation: func(pkt *netsim.Packet, _ topology.NodeID) int {
+			return pkt.Priority - 1 // illegal: lowering
+		},
+	}
+	n, err := netsim.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewSPF(topo)
+	src, dst := topo.MustLookup("H1"), topo.MustLookup("H2")
+	p, _ := tab.Path(src, dst, 1)
+	if err := n.AddFlow(&netsim.Flow{ID: 1, Src: src, Dst: dst, Size: units.KB, Path: p}, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("illegal escalation did not panic")
+		}
+	}()
+	n.Run(units.Millisecond)
+}
+
+// --- Recovery ---
+
+func TestRecoveryBreaksDeadlockWithDrops(t *testing.T) {
+	build := func(withRecovery bool) (*netsim.Network, *Recovery) {
+		topo := topology.RingHosts(3, 2, topology.DefaultLinkParams())
+		cfg := netsim.Config{
+			BufferSize: 1000 * units.KB,
+			Tau:        90 * units.Microsecond,
+			FlowControl: flowcontrol.NewPFC(flowcontrol.PFCConfig{
+				XOFF: 800 * units.KB, XON: 797 * units.KB}),
+		}
+		n, err := netsim.New(topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, path := range routing.RingHostsClockwisePaths(topo, 3, 2) {
+			f := &netsim.Flow{ID: i + 1, Src: path[0].Node,
+				Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+				Path: path}
+			if err := n.AddFlow(f, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var rec *Recovery
+		if withRecovery {
+			rec = NewRecovery(n)
+			rec.Install()
+		}
+		return n, rec
+	}
+	control, _ := build(false)
+	control.Run(200 * units.Millisecond)
+
+	n, rec := build(true)
+	n.Run(200 * units.Millisecond)
+
+	if rec.Interventions == 0 {
+		t.Fatal("recovery never intervened on a deadlocking ring")
+	}
+	if rec.PacketsDropped == 0 || n.Drops() == 0 {
+		t.Fatal("recovery broke deadlock without drops?")
+	}
+	// Recovery keeps some traffic moving — more than the frozen control —
+	// but it thrashes: the cycle re-forms under sustained pressure, so
+	// interventions repeat. Both facts are the paper's criticism of the
+	// reactive family.
+	if n.TotalDelivered() <= control.TotalDelivered() {
+		t.Errorf("recovery delivered %v, control %v",
+			n.TotalDelivered(), control.TotalDelivered())
+	}
+	if rec.Interventions < 2 {
+		t.Errorf("interventions = %d; expected re-formation under pressure", rec.Interventions)
+	}
+}
+
+func TestRecoveryIdleOnHealthyNetwork(t *testing.T) {
+	topo := topology.TwoToOne(topology.DefaultLinkParams())
+	n, err := netsim.New(topo, netsim.Config{
+		BufferSize:  300 * units.KB,
+		FlowControl: flowcontrol.NewPFCDefault(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewSPF(topo)
+	for i, src := range []string{"H1", "H2"} {
+		s := topo.MustLookup(src)
+		d := topo.MustLookup("H3")
+		p, _ := tab.Path(s, d, uint64(i))
+		if err := n.AddFlow(&netsim.Flow{ID: i, Src: s, Dst: d, Path: p}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := NewRecovery(n)
+	rec.Install()
+	n.Run(50 * units.Millisecond)
+	if rec.Interventions != 0 || n.Drops() != 0 {
+		t.Fatalf("recovery intervened on plain congestion: %d interventions, %d drops",
+			rec.Interventions, n.Drops())
+	}
+}
+
+// --- Tagger ---
+
+func TestTaggerRingRules(t *testing.T) {
+	topo := topology.RingHosts(3, 2, topology.DefaultLinkParams())
+	paths := routing.RingHostsClockwisePaths(topo, 3, 2)
+	tg, err := NewTagger(topo, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Rules()) == 0 {
+		t.Fatal("no bump rules on a cyclic pattern")
+	}
+	if tg.Classes != 2 {
+		t.Errorf("ring needs %d classes, want 2", tg.Classes)
+	}
+	// The fragments' union per construction is acyclic: re-verify
+	// directly by splitting the paths at bumps.
+	g := cbd.NewGraph(topo)
+	for _, p := range paths {
+		frag := make([]routing.Hop, 0, len(p))
+		for i, h := range p {
+			if i > 0 && tg.pathBumps(p[:i+1]) > tg.pathBumps(p[:i]) {
+				g.AddPath(frag)
+				frag = frag[:0]
+			}
+			frag = append(frag, h)
+		}
+		g.AddPath(frag)
+	}
+	if g.HasCycle() {
+		t.Fatal("bumped fragments still form a CBD")
+	}
+}
+
+func TestTaggerAcyclicNeedsNoRules(t *testing.T) {
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	hosts := topo.Hosts()
+	var paths [][]routing.Hop
+	for i := 0; i < 8; i++ {
+		src, dst := hosts[i], hosts[len(hosts)-1-i]
+		p, err := tab.Path(src, dst, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	tg, err := NewTagger(topo, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Rules()) != 0 {
+		t.Errorf("rules on CBD-free traffic: %v", tg.Rules())
+	}
+	if tg.Classes != 1 {
+		t.Errorf("classes = %d, want 1", tg.Classes)
+	}
+}
+
+func TestTaggerAvoidsRingDeadlockUnderPFC(t *testing.T) {
+	topo := topology.RingHosts(3, 2, topology.DefaultLinkParams())
+	paths := routing.RingHostsClockwisePaths(topo, 3, 2)
+	tg, err := NewTagger(topo, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := netsim.Config{
+		BufferSize: 1000 * units.KB,
+		Tau:        90 * units.Microsecond,
+		Priorities: tg.Classes,
+		FlowControl: flowcontrol.NewPFC(flowcontrol.PFCConfig{
+			XOFF: 800 * units.KB, XON: 797 * units.KB}),
+		Escalation: tg.Escalation(),
+	}
+	n, err := netsim.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		f := &netsim.Flow{ID: i + 1, Src: p[0].Node,
+			Dst:  p[len(p)-1].Link.Other(p[len(p)-1].Node),
+			Path: p}
+		if err := n.AddFlow(f, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det := deadlock.NewDetector(n)
+	det.Install()
+	n.Run(150 * units.Millisecond)
+	if rep := det.Deadlocked(); rep != nil {
+		t.Fatalf("tagger-protected PFC deadlocked: %+v", rep)
+	}
+	if n.Drops() != 0 {
+		t.Fatalf("drops = %d", n.Drops())
+	}
+	// Decent utilisation: the ring must keep moving at real rates.
+	if rate := units.RateOf(n.TotalDelivered(), n.Now()); rate < 10*units.Gbps {
+		t.Errorf("aggregate %v, want the ring near capacity", rate)
+	}
+}
+
+func TestTaggerFatTreeCaseStudy(t *testing.T) {
+	// The Figure 12 scenario: tagger's rules break the C1→A3→C2→A7→C1
+	// cycle with one extra class.
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	for _, pair := range [][2]string{
+		{"C1", "A5"}, {"A1", "C2"}, {"E1", "A2"}, {"E5", "A6"},
+	} {
+		topo.FailLinkBetween(pair[0], pair[1])
+	}
+	mk := func(names ...string) []routing.Hop {
+		return routing.MustExplicitPath(topo, names...)
+	}
+	paths := [][]routing.Hop{
+		mk("H0", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H8"),
+		mk("H4", "E3", "A3", "C2", "A7", "E7", "H12"),
+		mk("H9", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H1"),
+		mk("H13", "E7", "A7", "C1", "A3", "E3", "H5"),
+	}
+	tg, err := NewTagger(topo, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Rules()) == 0 {
+		t.Fatal("no rules for a cyclic scenario")
+	}
+	if tg.Classes > 3 {
+		t.Errorf("classes = %d; tagger's promise is a small budget", tg.Classes)
+	}
+}

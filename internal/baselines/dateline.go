@@ -1,0 +1,51 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/topology"
+)
+
+// Dateline returns a netsim Escalation hook implementing the classic
+// virtual-channel scheme for rings: packets crossing the "dateline" link
+// (from the named switch to its clockwise successor) are bumped from
+// priority class 0 to class 1. Because no packet re-crosses the dateline in
+// class 1, the class-1 buffer dependencies cannot close a cycle, and class
+// 0's cycle is broken at the dateline — circular wait is impossible with
+// two priority classes.
+//
+// This is the queue-management family of deadlock avoidance (§8): effective,
+// but the number of required classes grows with the topology (one ring
+// needs 2; meshes of rings and larger CBDs need more), which is the
+// scalability criticism the paper levels at it.
+func Dateline(t *topology.Topology, from, to string) (func(pkt *netsim.Packet, at topology.NodeID) int, error) {
+	a, ok := t.Lookup(from)
+	if !ok {
+		return nil, fmt.Errorf("baselines: unknown node %q", from)
+	}
+	b, ok := t.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("baselines: unknown node %q", to)
+	}
+	if t.LinkBetween(a, b) == nil {
+		return nil, fmt.Errorf("baselines: no live link %s-%s", from, to)
+	}
+	return func(pkt *netsim.Packet, at topology.NodeID) int {
+		// The packet has just been admitted at `at`; it crossed the
+		// dateline if it arrived over the a→b link.
+		if at == b && pkt.Priority == 0 && cameFrom(pkt, a) {
+			return 1
+		}
+		return pkt.Priority
+	}, nil
+}
+
+// cameFrom reports whether pkt's previous hop transmitted from node n.
+func cameFrom(pkt *netsim.Packet, n topology.NodeID) bool {
+	// pkt.CurrentHop is the hop about to be transmitted by the current
+	// node; the packet was just received, so the previous path entry is
+	// the transmitter. Escalation runs before hop advancement, so
+	// CurrentHop still names the sender.
+	return pkt.CurrentHop().Node == n
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Recovery implements the reactive family (§8, [2,3,36,38,52]): it watches
+// the network with a deadlock detector and, on detection, drops the head
+// packet of every buffer in the cycle — the minimal packet sacrifice that
+// breaks the circular wait. Then detection restarts. Every intervention is
+// counted; the drop count is the losslessness violation the paper holds
+// against recovery schemes ("blunt and rigid").
+type Recovery struct {
+	net *netsim.Network
+	// Interventions counts detected deadlocks broken.
+	Interventions int
+	// PacketsDropped counts packets sacrificed.
+	PacketsDropped int
+	// Window and Interval configure the underlying detector.
+	Window   units.Time
+	Interval units.Time
+
+	det *deadlock.Detector
+}
+
+// NewRecovery returns a recovery agent over n. The detection window
+// defaults to 2 ms — recovery schemes detect aggressively since their only
+// cost is dropped packets.
+func NewRecovery(n *netsim.Network) *Recovery {
+	return &Recovery{
+		net:      n,
+		Window:   2 * units.Millisecond,
+		Interval: units.Millisecond,
+	}
+}
+
+// Install schedules the detect-and-break loop.
+func (r *Recovery) Install() {
+	r.reset()
+	var tick func()
+	tick = func() {
+		if rep := r.det.Check(); rep != nil {
+			r.breakCycle(rep)
+			r.reset() // start a fresh detection epoch
+		}
+		r.net.Engine().After(r.Interval, tick)
+	}
+	r.net.Engine().After(r.Interval, tick)
+}
+
+func (r *Recovery) reset() {
+	r.det = deadlock.NewDetector(r.net)
+	r.det.Window = r.Window
+	r.det.Interval = r.Interval
+}
+
+// headsPerBreak is how many head packets are sacrificed per cycle buffer
+// per intervention. One head technically breaks the instantaneous wait, but
+// with the buffers still above XON the pause re-engages immediately;
+// draining a few packets is what practical schemes do. Either way the cycle
+// re-forms under sustained pressure — recovery treats the symptom, which is
+// precisely the paper's criticism.
+const headsPerBreak = 4
+
+// breakCycle drops head packets of every ingress buffer in the detected
+// cycle.
+func (r *Recovery) breakCycle(rep *deadlock.Report) {
+	r.Interventions++
+	for _, ch := range rep.Cycle {
+		port := r.net.PortFor(ch.Node, ch.From)
+		if port < 0 {
+			continue
+		}
+		for i := 0; i < headsPerBreak; i++ {
+			if !r.net.DropIngressHead(ch.Node, port, ch.Prio) {
+				break
+			}
+			r.PacketsDropped++
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package cbd analyses Cyclic Buffer Dependencies — the *circular wait*
+// condition of network deadlock (§2.1). The buffer-dependency graph has one
+// vertex per directed switch-to-switch channel (an ingress buffer) and an
+// edge from channel u to channel v when some flow path arrives at a switch
+// over u and departs over v. A cycle in this graph is a CBD; the Table 1
+// sweep uses this analysis to pre-filter deadlock-prone topologies exactly
+// as the paper describes (§6.2.3).
+package cbd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+)
+
+// Channel is a directed use of a link: traffic flowing From -> To. It names
+// one ingress buffer (the buffer on To's side of the link).
+type Channel struct {
+	From, To topology.NodeID
+}
+
+func (c Channel) String() string { return fmt.Sprintf("%d->%d", c.From, c.To) }
+
+// Graph is a buffer-dependency graph.
+type Graph struct {
+	topo  *topology.Topology
+	verts map[Channel]int
+	names []Channel
+	succ  [][]int
+	edges map[[2]int]bool
+}
+
+// NewGraph returns an empty dependency graph over t.
+func NewGraph(t *topology.Topology) *Graph {
+	return &Graph{
+		topo:  t,
+		verts: make(map[Channel]int),
+		edges: make(map[[2]int]bool),
+	}
+}
+
+func (g *Graph) vertex(c Channel) int {
+	if v, ok := g.verts[c]; ok {
+		return v
+	}
+	v := len(g.names)
+	g.verts[c] = v
+	g.names = append(g.names, c)
+	g.succ = append(g.succ, nil)
+	return v
+}
+
+// addEdge records the dependency u -> v once.
+func (g *Graph) addEdge(u, v int) {
+	k := [2]int{u, v}
+	if g.edges[k] {
+		return
+	}
+	g.edges[k] = true
+	g.succ[u] = append(g.succ[u], v)
+}
+
+// switchOnly reports whether both endpoints of c are switches. Host-attached
+// channels cannot participate in a cycle (hosts sink or source traffic), so
+// the dependency graph only tracks switch-to-switch buffers.
+func (g *Graph) switchOnly(c Channel) bool {
+	return g.topo.Node(c.From).Kind == topology.Switch &&
+		g.topo.Node(c.To).Kind == topology.Switch
+}
+
+// AddPath records the buffer dependencies induced by one forwarding path.
+func (g *Graph) AddPath(path []routing.Hop) {
+	var prev = -1
+	for i := 0; i < len(path); i++ {
+		h := path[i]
+		var to topology.NodeID
+		if i+1 < len(path) {
+			to = path[i+1].Node
+		} else {
+			to = h.Link.Other(h.Node)
+		}
+		c := Channel{From: h.Node, To: to}
+		if !g.switchOnly(c) {
+			prev = -1
+			continue
+		}
+		v := g.vertex(c)
+		if prev >= 0 {
+			g.addEdge(prev, v)
+		}
+		prev = v
+	}
+}
+
+// NumChannels reports the number of switch-to-switch channels seen so far.
+func (g *Graph) NumChannels() int { return len(g.names) }
+
+// HasCycle reports whether the dependency graph contains a cycle, i.e.
+// whether the recorded paths can form a CBD.
+func (g *Graph) HasCycle() bool { return len(g.FindCycle()) > 0 }
+
+// FindCycle returns the channels of one dependency cycle, or nil when the
+// graph is acyclic. The cycle is returned in traversal order.
+func (g *Graph) FindCycle() []Channel {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.names))
+	parent := make([]int, len(g.names))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleFrom, cycleTo = -1, -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		for _, v := range g.succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				cycleFrom, cycleTo = u, v
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range g.names {
+		if color[u] == white && dfs(u) {
+			break
+		}
+	}
+	if cycleFrom < 0 {
+		return nil
+	}
+	// Walk parents from cycleFrom back to cycleTo.
+	var rev []Channel
+	for u := cycleFrom; ; u = parent[u] {
+		rev = append(rev, g.names[u])
+		if u == cycleTo {
+			break
+		}
+	}
+	out := make([]Channel, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// StronglyConnected returns the nontrivial strongly connected components of
+// the dependency graph (size >= 2, or a single vertex with a self-loop),
+// each sorted for determinism. Every CBD lies inside one of these.
+func (g *Graph) StronglyConnected() [][]Channel {
+	n := len(g.names)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var next int
+	var comps [][]Channel
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.succ[v] {
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			keep := len(comp) >= 2
+			if !keep && len(comp) == 1 {
+				keep = g.edges[[2]int{comp[0], comp[0]}]
+			}
+			if keep {
+				chans := make([]Channel, len(comp))
+				for i, u := range comp {
+					chans[i] = g.names[u]
+				}
+				sort.Slice(chans, func(i, j int) bool {
+					if chans[i].From != chans[j].From {
+						return chans[i].From < chans[j].From
+					}
+					return chans[i].To < chans[j].To
+				})
+				comps = append(comps, chans)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// FromAllPairs builds the dependency graph induced by routing every
+// inter-rack host pair of t under tab (the union over the workload's
+// possible flows). Pairs whose destination is unreachable are skipped.
+// rackOf groups hosts; pass nil to consider all ordered host pairs.
+func FromAllPairs(t *topology.Topology, tab *routing.Table, rackOf func(topology.NodeID) int) *Graph {
+	g := NewGraph(t)
+	hosts := t.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			if rackOf != nil && rackOf(src) == rackOf(dst) {
+				continue
+			}
+			path, err := tab.Path(src, dst, FlowKey(src, dst))
+			if err != nil {
+				continue
+			}
+			g.AddPath(path)
+		}
+	}
+	return g
+}
+
+// FlowKey derives the deterministic ECMP key used for the (src, dst) pair
+// throughout the sweeps, so the static analysis and the simulator route
+// flows identically.
+func FlowKey(src, dst topology.NodeID) uint64 {
+	return uint64(src)<<32 | uint64(uint32(dst))
+}

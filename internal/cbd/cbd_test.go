@@ -1,0 +1,202 @@
+package cbd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+)
+
+func TestRingHasCBD(t *testing.T) {
+	topo := topology.Ring(3, topology.DefaultLinkParams())
+	g := NewGraph(topo)
+	for _, p := range routing.RingClockwisePaths(topo, 3) {
+		g.AddPath(p)
+	}
+	if !g.HasCycle() {
+		t.Fatal("Figure 1 ring traffic must form a CBD")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("cycle length = %d, want 3 channels", len(cyc))
+	}
+	// The cycle must chain: each channel's To is the next channel's From.
+	for i := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if cyc[i].To != next.From {
+			t.Fatalf("cycle does not chain: %v", cyc)
+		}
+	}
+}
+
+func TestSingleFlowNoCBD(t *testing.T) {
+	topo := topology.Ring(3, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	h1 := topo.MustLookup("H1")
+	h2 := topo.MustLookup("H2")
+	p, err := tab.Path(h1, h2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(topo)
+	g.AddPath(p)
+	if g.HasCycle() {
+		t.Fatal("single acyclic flow reported as CBD")
+	}
+	if g.FindCycle() != nil {
+		t.Fatal("FindCycle returned non-nil for acyclic graph")
+	}
+}
+
+func TestLinearChainNoCBD(t *testing.T) {
+	topo := topology.Linear(5, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	hosts := topo.Hosts()
+	g := NewGraph(topo)
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			p, err := tab.Path(src, dst, FlowKey(src, dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.AddPath(p)
+		}
+	}
+	if g.HasCycle() {
+		t.Fatal("linear chain cannot have a CBD")
+	}
+}
+
+func TestHealthyFatTreeNoCBD(t *testing.T) {
+	// Fat-tree with up-down routing and no failures is CBD-free: SPF
+	// paths go up then down, never down-up-down.
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	g := FromAllPairs(topo, tab, nil)
+	if g.HasCycle() {
+		t.Fatalf("healthy fat-tree reported CBD; cycle=%v", g.FindCycle())
+	}
+	if g.NumChannels() == 0 {
+		t.Fatal("no channels recorded")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	topo := topology.Ring(4, topology.DefaultLinkParams())
+	g := NewGraph(topo)
+	for _, p := range routing.RingClockwisePaths(topo, 4) {
+		g.AddPath(p)
+	}
+	comps := g.StronglyConnected()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	if len(comps[0]) != 4 {
+		t.Fatalf("component size = %d, want 4", len(comps[0]))
+	}
+}
+
+func TestStronglyConnectedEmpty(t *testing.T) {
+	topo := topology.Linear(3, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	g := FromAllPairs(topo, tab, nil)
+	if comps := g.StronglyConnected(); len(comps) != 0 {
+		t.Fatalf("acyclic graph has %d SCCs", len(comps))
+	}
+}
+
+func TestRackFilter(t *testing.T) {
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	// Group all hosts into one rack: no pairs at all.
+	g := FromAllPairs(topo, tab, func(topology.NodeID) int { return 0 })
+	if g.NumChannels() != 0 {
+		t.Fatalf("rack filter ignored: %d channels", g.NumChannels())
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	topo := topology.Ring(3, topology.DefaultLinkParams())
+	g := NewGraph(topo)
+	paths := routing.RingClockwisePaths(topo, 3)
+	for i := 0; i < 5; i++ { // add same paths repeatedly
+		for _, p := range paths {
+			g.AddPath(p)
+		}
+	}
+	if got := g.NumChannels(); got != 3 {
+		t.Fatalf("channels = %d, want 3 (deduplicated)", got)
+	}
+}
+
+// Property: FindCycle agrees with HasCycle, and any returned cycle is a real
+// cycle in the graph built from random fat-tree failure scenarios.
+func TestFindCycleConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topology.FatTree(4, topology.DefaultLinkParams())
+		topo.FailRandomLinks(rng, 0.08)
+		tab := routing.NewSPF(topo)
+		g := FromAllPairs(topo, tab, nil)
+		cyc := g.FindCycle()
+		if (cyc != nil) != g.HasCycle() {
+			return false
+		}
+		if cyc == nil {
+			return true
+		}
+		if len(cyc) < 2 {
+			return false
+		}
+		for i := range cyc {
+			next := cyc[(i+1)%len(cyc)]
+			if cyc[i].To != next.From {
+				return false
+			}
+		}
+		// Channels in the cycle must be switch-switch.
+		for _, c := range cyc {
+			if topo.Node(c.From).Kind != topology.Switch ||
+				topo.Node(c.To).Kind != topology.Switch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a cycle implies a nontrivial SCC and vice versa.
+func TestCycleIffSCC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topology.FatTree(4, topology.DefaultLinkParams())
+		topo.FailRandomLinks(rng, 0.08)
+		tab := routing.NewSPF(topo)
+		g := FromAllPairs(topo, tab, nil)
+		return g.HasCycle() == (len(g.StronglyConnected()) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowKeyDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for s := topology.NodeID(0); s < 50; s++ {
+		for d := topology.NodeID(0); d < 50; d++ {
+			k := FlowKey(s, d)
+			if seen[k] {
+				t.Fatalf("FlowKey collision at %d,%d", s, d)
+			}
+			seen[k] = true
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// These tests check the paper's two theorems empirically on a fluid model
+// of a single controlled queue: the input rate follows the mapping function
+// with feedback delay τ (Theorem 4.1) or with periodic feedback T plus
+// delay τ (Theorem 5.1), while the draining rate varies arbitrarily —
+// including dropping to zero, the adversarial case of the proofs. The
+// theorems assert q_max < B_m, i.e. the input rate never has to stop:
+// hold-and-wait is eliminated.
+
+// drainPattern is a piecewise-constant drain rate: segment i lasts segDur
+// and drains at rates[i].
+type drainPattern struct {
+	rates  []units.Rate
+	segDur units.Time
+}
+
+func (d drainPattern) at(t units.Time) units.Rate {
+	i := int(t / d.segDur)
+	if i >= len(d.rates) {
+		i = len(d.rates) - 1
+	}
+	return d.rates[i]
+}
+
+// simulateConceptual runs the conceptual-GFC fluid model: the receiver
+// continuously reports q(t); the sender's rate at time t is mapping(q(t−τ)).
+// Returns the maximum queue length observed.
+func simulateConceptual(m ContinuousMapping, tau units.Time, drain drainPattern, horizon units.Time) units.Size {
+	const dt = 100 * units.Nanosecond
+	steps := int(horizon / dt)
+	hist := make([]float64, steps+1) // q at each step, for delayed lookup
+	lag := int(tau / dt)
+	var q, qmax float64
+	for i := 0; i < steps; i++ {
+		hist[i] = q
+		// The sender reacts to the queue as it was τ ago; before any
+		// feedback it sends at line rate.
+		var ri units.Rate
+		if i <= lag {
+			ri = m.C
+		} else {
+			ri = m.Rate(units.Size(hist[i-lag]))
+		}
+		rd := drain.at(units.Time(i) * dt)
+		q += (float64(ri) - float64(rd)) / 8 * dt.Seconds()
+		if q < 0 {
+			q = 0
+		}
+		if q > qmax {
+			qmax = q
+		}
+	}
+	return units.Size(qmax)
+}
+
+// simulateTimeBased runs the time-based fluid model: the receiver reports
+// q every T; the report takes τ to take effect; between updates the rate
+// holds.
+func simulateTimeBased(m ContinuousMapping, tau, period units.Time, drain drainPattern, horizon units.Time) units.Size {
+	const dt = 100 * units.Nanosecond
+	steps := int(horizon / dt)
+	var q, qmax float64
+	rate := m.C
+	// With τ > T several feedback messages are in flight concurrently;
+	// keep them all, in order.
+	type update struct {
+		at units.Time
+		r  units.Rate
+	}
+	var pending []update
+	nextReport := period
+	for i := 0; i < steps; i++ {
+		now := units.Time(i) * dt
+		// Apply due updates before taking a new report: with τ = T
+		// the two coincide and the older rate must land first.
+		for len(pending) > 0 && now >= pending[0].at {
+			rate = pending[0].r
+			pending = pending[1:]
+		}
+		if now >= nextReport {
+			pending = append(pending, update{at: now + tau, r: m.Rate(units.Size(q))})
+			nextReport += period
+		}
+		rd := drain.at(now)
+		q += (float64(rate) - float64(rd)) / 8 * dt.Seconds()
+		if q < 0 {
+			q = 0
+		}
+		if q > qmax {
+			qmax = q
+		}
+	}
+	return units.Size(qmax)
+}
+
+func randomDrain(rng *rand.Rand, c units.Rate) drainPattern {
+	n := 3 + rng.Intn(5)
+	rates := make([]units.Rate, n)
+	for i := range rates {
+		switch rng.Intn(3) {
+		case 0:
+			rates[i] = 0 // fully stalled — the adversarial case
+		case 1:
+			rates[i] = units.Rate(rng.Float64()) * c / 2
+		default:
+			rates[i] = units.Rate(rng.Float64()) * c
+		}
+	}
+	return drainPattern{rates: rates, segDur: 200 * units.Microsecond}
+}
+
+// TestTheorem41Empirical: with B0 at the Theorem 4.1 bound (B_m − 4Cτ),
+// the queue never reaches B_m under any drain pattern.
+func TestTheorem41Empirical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fluid sweeps are slow")
+	}
+	c := 10 * units.Gbps
+	f := func(seed int64, tauUS uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := units.Time(1+int(tauUS)%20) * units.Microsecond
+		bm := 300 * units.KB
+		b0 := ConceptualB0Bound(bm, c, tau)
+		if b0 <= 0 {
+			return true // configuration out of range
+		}
+		m := ContinuousMapping{C: c, B0: b0, Bm: bm}
+		qmax := simulateConceptual(m, tau, randomDrain(rng, c), 3*units.Millisecond)
+		// At the exact bound the dynamics asymptote to B_m (the
+		// Theorem 4.1 inequality is tight: l = 4 is the double root),
+		// so allow a discretisation-scale tolerance.
+		return qmax <= bm+units.KB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem41BoundIsMeaningful: with B0 far beyond the bound the queue
+// does overflow B_m under a stalled drain — i.e. the theorem's constraint
+// is doing real work, not vacuously true.
+func TestTheorem41BoundIsMeaningful(t *testing.T) {
+	c := 10 * units.Gbps
+	tau := 20 * units.Microsecond
+	bm := 300 * units.KB
+	// B0 within one Cτ of Bm: far too aggressive.
+	m := ContinuousMapping{C: c, B0: bm - units.BytesIn(c, tau)/2, Bm: bm}
+	stall := drainPattern{rates: []units.Rate{0}, segDur: units.Second}
+	qmax := simulateConceptual(m, tau, stall, 3*units.Millisecond)
+	if qmax < bm {
+		t.Fatalf("aggressive B0 stayed below Bm (qmax=%v); fluid model too forgiving", qmax)
+	}
+}
+
+// TestTheorem51Empirical: with B0 at the Theorem 5.1 bound
+// (B_m − (√(τ/T)+1)²CT), the periodically-fed-back queue never reaches B_m.
+func TestTheorem51Empirical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fluid sweeps are slow")
+	}
+	c := 10 * units.Gbps
+	f := func(seed int64, tauUS, perUS uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := units.Time(1+int(tauUS)%15) * units.Microsecond
+		period := units.Time(5+int(perUS)%60) * units.Microsecond
+		bm := 600 * units.KB
+		b0 := TimeBasedB0Bound(bm, c, tau, period)
+		if b0 <= 0 {
+			return true
+		}
+		m := ContinuousMapping{C: c, B0: b0, Bm: bm}
+		qmax := simulateTimeBased(m, tau, period, randomDrain(rng, c), 3*units.Millisecond)
+		// Tight bound + discretisation: see TestTheorem41Empirical.
+		return qmax <= bm+units.KB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem51BoundIsMeaningful mirrors the 4.1 check for the time-based
+// bound.
+func TestTheorem51BoundIsMeaningful(t *testing.T) {
+	c := 10 * units.Gbps
+	tau := 10 * units.Microsecond
+	period := 50 * units.Microsecond
+	bm := 600 * units.KB
+	m := ContinuousMapping{C: c, B0: bm - units.BytesIn(c, period)/2, Bm: bm}
+	stall := drainPattern{rates: []units.Rate{0}, segDur: units.Second}
+	qmax := simulateTimeBased(m, tau, period, stall, 3*units.Millisecond)
+	if qmax < bm {
+		t.Fatalf("aggressive B0 stayed below Bm (qmax=%v)", qmax)
+	}
+}
+
+// TestStageTableEmpiricalSafety: the practical multi-stage mapping with the
+// §5.4 parameters also keeps the queue below B_m in the fluid model with a
+// stalled drain: rate halvings outpace the queue growth.
+func TestStageTableEmpiricalSafety(t *testing.T) {
+	c := 10 * units.Gbps
+	tau := 7400 * units.Nanosecond
+	bm := 300 * units.KB
+	b1 := BufferBasedB1Bound(bm, c, tau)
+	st, err := NewSafeStageTable(c, bm, b1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 100 * units.Nanosecond
+	steps := int((3 * units.Millisecond) / dt)
+	hist := make([]float64, steps+1)
+	lag := int(tau / dt)
+	var q, qmax float64
+	for i := 0; i < steps; i++ {
+		hist[i] = q
+		var ri units.Rate
+		if i <= lag {
+			ri = c
+		} else {
+			ri = st.RateFor(units.Size(hist[i-lag]))
+		}
+		q += float64(ri) / 8 * dt.Seconds() // drain fully stalled
+		if q > qmax {
+			qmax = q
+		}
+	}
+	// The step mapping's deepest stage keeps a positive rate, so a
+	// permanently stalled drain eventually creeps past B_m — but only at
+	// the floor rate. Within the horizon the overshoot must stay within
+	// a few MTU of B_m (the headroom the practical configuration keeps).
+	if units.Size(qmax) > bm+6*1500 {
+		t.Fatalf("stage-table overshoot %v far beyond Bm=%v", units.Size(qmax), bm)
+	}
+}

@@ -1,0 +1,201 @@
+// Package deadlock detects network deadlock in a running simulation. A
+// deadlock is a set of ingress buffers that (a) hold traffic, (b) have made
+// no forwarding progress for a sustained window, and (c) form a cycle in the
+// wait-for graph — each stalled buffer's traffic must enter the next stalled
+// buffer. This is the *hold and wait* + *circular wait* combination of §2.1
+// observed dynamically, on exactly the channel graph the static CBD analysis
+// (package cbd) reasons about.
+package deadlock
+
+import (
+	"sort"
+
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// ChannelKey identifies one ingress buffer: the directed channel From→Node
+// at a priority.
+type ChannelKey struct {
+	From topology.NodeID
+	Node topology.NodeID
+	Prio int
+}
+
+// Report describes a detected deadlock.
+type Report struct {
+	// At is the simulation time of detection.
+	At units.Time
+	// Cycle is one cycle of mutually waiting ingress buffers, in order:
+	// each element's traffic waits on the next.
+	Cycle []ChannelKey
+	// StallFor is how long the cycle's buffers had been stalled at
+	// detection.
+	StallFor units.Time
+}
+
+// Detector polls a Network for sustained circular standstill. Create one
+// with NewDetector and call Install to schedule periodic checks, or drive
+// Check manually.
+type Detector struct {
+	net *netsim.Network
+	// Window is how long a buffer must hold bytes without progress to
+	// count as stalled; default 5 ms.
+	Window units.Time
+	// Interval is the polling period; default 1 ms.
+	Interval units.Time
+
+	lastDeparted map[ChannelKey]units.Size
+	stallSince   map[ChannelKey]units.Time
+	report       *Report
+}
+
+// NewDetector returns a detector over n with default window and interval.
+func NewDetector(n *netsim.Network) *Detector {
+	return &Detector{
+		net:          n,
+		Window:       5 * units.Millisecond,
+		Interval:     units.Millisecond,
+		lastDeparted: make(map[ChannelKey]units.Size),
+		stallSince:   make(map[ChannelKey]units.Time),
+	}
+}
+
+// Install schedules periodic checks on the network's engine until a
+// deadlock is found.
+func (d *Detector) Install() {
+	var tick func()
+	tick = func() {
+		if d.Check() != nil {
+			return // stop polling once detected
+		}
+		d.net.Engine().After(d.Interval, tick)
+	}
+	d.net.Engine().After(d.Interval, tick)
+}
+
+// Deadlocked reports the detection result so far; nil when none.
+func (d *Detector) Deadlocked() *Report { return d.report }
+
+// Check samples the network once and returns a Report when a sustained
+// circular standstill exists, updating the detector's state. Subsequent
+// calls after detection keep returning the same report.
+func (d *Detector) Check() *Report {
+	if d.report != nil {
+		return d.report
+	}
+	now := d.net.Now()
+	states := d.net.IngressStates()
+
+	// Update stall bookkeeping. A buffer is deadlock-eligible only when
+	// it holds bytes, has not progressed for a full window, AND every
+	// channel it waits on is blocked with zero permitted rate — a
+	// positive rate means hold-and-wait is broken and the buffer will
+	// drain, however slowly (the GFC regime).
+	stalled := make(map[ChannelKey]netsim.IngressState)
+	for _, is := range states {
+		key := ChannelKey{From: is.From, Node: is.Node, Prio: is.Prio}
+		blockedForever := len(is.WaitRates) > 0
+		for _, r := range is.WaitRates {
+			if r > 0 {
+				blockedForever = false
+				break
+			}
+		}
+		if is.Occupancy == 0 || is.Departed != d.lastDeparted[key] || !blockedForever {
+			d.lastDeparted[key] = is.Departed
+			delete(d.stallSince, key)
+			continue
+		}
+		if _, ok := d.stallSince[key]; !ok {
+			d.stallSince[key] = now
+		}
+		if now-d.stallSince[key] >= d.Window {
+			stalled[key] = is
+		}
+	}
+	if len(stalled) == 0 {
+		return nil
+	}
+
+	// Wait-for edges among stalled buffers: (u→v) waits on (v→w) when
+	// traffic held in (u→v) must next enter w's buffer fed by v.
+	adj := make(map[ChannelKey][]ChannelKey, len(stalled))
+	for key, is := range stalled {
+		for _, w := range is.WaitsOn {
+			next := ChannelKey{From: key.Node, Node: w, Prio: key.Prio}
+			if _, ok := stalled[next]; ok {
+				adj[key] = append(adj[key], next)
+			}
+		}
+		sort.Slice(adj[key], func(i, j int) bool { return less(adj[key][i], adj[key][j]) })
+	}
+
+	// Find a cycle with DFS over the stalled subgraph.
+	keys := make([]ChannelKey, 0, len(stalled))
+	for k := range stalled {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+
+	color := make(map[ChannelKey]int, len(stalled)) // 0 white 1 grey 2 black
+	parent := make(map[ChannelKey]ChannelKey, len(stalled))
+	var cycFrom, cycTo *ChannelKey
+	var dfs func(u ChannelKey) bool
+	dfs = func(u ChannelKey) bool {
+		color[u] = 1
+		for _, v := range adj[u] {
+			switch color[v] {
+			case 0:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case 1:
+				uu, vv := u, v
+				cycFrom, cycTo = &uu, &vv
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for _, k := range keys {
+		if color[k] == 0 && dfs(k) {
+			break
+		}
+	}
+	if cycFrom == nil {
+		return nil
+	}
+	var rev []ChannelKey
+	for u := *cycFrom; ; u = parent[u] {
+		rev = append(rev, u)
+		if u == *cycTo {
+			break
+		}
+	}
+	cycle := make([]ChannelKey, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		cycle = append(cycle, rev[i])
+	}
+	stallFor := units.Never
+	for _, k := range cycle {
+		if s := now - d.stallSince[k]; s < stallFor {
+			stallFor = s
+		}
+	}
+	d.report = &Report{At: now, Cycle: cycle, StallFor: stallFor}
+	return d.report
+}
+
+func less(a, b ChannelKey) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Prio < b.Prio
+}

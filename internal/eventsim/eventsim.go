@@ -1,0 +1,158 @@
+// Package eventsim provides the discrete-event simulation engine the whole
+// network simulator runs on: a virtual clock and a priority queue of timed
+// callbacks. Events that share a timestamp fire in the order they were
+// scheduled, which makes every run deterministic.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Event is a scheduled callback. Handles returned by the scheduler can be
+// used to cancel an event before it fires.
+type Event struct {
+	at     units.Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// At reports when the event is (or was) scheduled to fire.
+func (e *Event) At() units.Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use.
+type Engine struct {
+	queue   eventQueue
+	now     units.Time
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a fresh engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled (including cancelled ones
+// not yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it is
+// always a logic error in a discrete-event model.
+func (e *Engine) Schedule(at units.Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d units.Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents ev from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the clock passes until, or
+// Stop is called. It returns the time of the last executed event (or the
+// unchanged clock when nothing ran). Events scheduled at exactly until still
+// execute.
+func (e *Engine) Run(until units.Time) units.Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek: do not advance past the horizon.
+		if e.queue[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() units.Time { return e.Run(units.Never) }

@@ -1,0 +1,259 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.RunAll()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at units.Time
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.RunAll()
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double-cancel and nil-cancel are safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(units.Time(i), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.RunAll()
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	for _, at := range []units.Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.Run(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v within horizon 25", fired)
+	}
+	// Events at exactly the horizon run.
+	e.Run(30)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v within horizon 30", fired)
+	}
+	e.RunAll()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after RunAll", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(units.Time(i), func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 4 {
+		t.Fatalf("count = %d after Stop, want 4", count)
+	}
+	// Run can resume after Stop.
+	e.RunAll()
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	e := New()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Step()
+	if e.Fired() != 1 || e.Pending() != 1 {
+		t.Fatalf("Fired=%d Pending=%d", e.Fired(), e.Pending())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue reported work")
+	}
+}
+
+// Property: for any random schedule, events fire in nondecreasing time order
+// and the engine clock equals the last event time.
+func TestRandomScheduleOrdered(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []units.Time
+		k := int(n%64) + 1
+		for i := 0; i < k; i++ {
+			at := units.Time(rng.Int63n(1000))
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != k {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == fired[len(fired)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset removes exactly that subset.
+func TestRandomCancel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		const n = 40
+		ran := make([]bool, n)
+		evs := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.Schedule(units.Time(rng.Int63n(100)), func() { ran[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = true
+				e.Cancel(evs[i])
+			}
+		}
+		e.RunAll()
+		for i := 0; i < n; i++ {
+			if ran[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+units.Time(i%100), func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/cbd"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+func TestFCFactoryAndNames(t *testing.T) {
+	_, fp := TestbedParams()
+	for _, fc := range AllFCs() {
+		if fp.Factory(fc) == nil {
+			t.Errorf("no factory for %s", fc)
+		}
+	}
+	if !GFCBuf.IsGFC() || !GFCTime.IsGFC() || PFC.IsGFC() || CBFC.IsGFC() {
+		t.Error("IsGFC misclassifies")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown FC did not panic")
+		}
+	}()
+	fp.Factory(FC("bogus"))
+}
+
+func TestFatTreeScenarioHasCBD(t *testing.T) {
+	sc := NewFatTreeDeadlock()
+	g := cbd.NewGraph(sc.Topo)
+	for _, p := range sc.Paths {
+		g.AddPath(p)
+	}
+	if !g.HasCycle() {
+		t.Fatal("case-study flows do not form a CBD")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 4 {
+		t.Fatalf("cycle length %d, want the 4 core-agg channels", len(cyc))
+	}
+	// The cycle must be exactly the documented one.
+	want := map[string]bool{}
+	for _, pair := range sc.CBD {
+		want[pair[0]+">"+pair[1]] = true
+	}
+	for _, c := range cyc {
+		key := sc.Topo.Node(c.From).Name + ">" + sc.Topo.Node(c.To).Name
+		if !want[key] {
+			t.Errorf("unexpected cycle member %s", key)
+		}
+	}
+}
+
+func TestFatTreeScenarioPathsAreShortest(t *testing.T) {
+	// The explicit paths must not be longer than SPF distances on the
+	// failed topology — they are legitimate routes, not contrivances.
+	sc := NewFatTreeDeadlock()
+	tab := routing.NewSPF(sc.Topo)
+	for i, p := range sc.Paths {
+		src := p[0].Node
+		dst := p[len(p)-1].Link.Other(p[len(p)-1].Node)
+		d, ok := tab.Distance(src, dst)
+		if !ok {
+			t.Fatalf("flow %d: dst unreachable", i+1)
+		}
+		if len(p) != d {
+			t.Errorf("flow %d: explicit path %d hops, SPF %d", i+1, len(p), d)
+		}
+	}
+}
+
+func TestCaseStudySteadyState(t *testing.T) {
+	// Figure 12(b)/13(b): under GFC the four flows share 5 Gb/s each.
+	for _, fc := range []FC{GFCBuf, GFCTime} {
+		res, _, err := RunCaseStudy(CaseStudyConfig{
+			FC: fc, Duration: 40 * units.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("%s deadlocked in the critical case study", fc)
+		}
+		if res.Drops != 0 {
+			t.Fatalf("%s drops = %d", fc, res.Drops)
+		}
+		for i, r := range res.FlowRates {
+			if r < 4.5*units.Gbps || r > 5.5*units.Gbps {
+				t.Errorf("%s flow %d rate %v, want ≈5G", fc, i+1, r)
+			}
+		}
+	}
+}
+
+func TestCaseStudyDeadlockFormation(t *testing.T) {
+	// With the cross-flow squeeze, PFC and CBFC deadlock (paper Fig
+	// 12(a)/13(a); our PFC collapse at ≈8 ms mirrors the paper's 8.5 ms
+	// Figure 18 timing), while both GFC variants keep the network alive.
+	for _, tc := range []struct {
+		fc   FC
+		dead bool
+	}{
+		{PFC, true}, {CBFC, true}, {GFCBuf, false}, {GFCTime, false},
+	} {
+		res, _, err := RunCaseStudy(CaseStudyConfig{
+			FC: tc.fc, Duration: 40 * units.Millisecond, WithCross: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked != tc.dead {
+			t.Errorf("%s deadlocked=%v, want %v", tc.fc, res.Deadlocked, tc.dead)
+		}
+		if res.Drops != 0 {
+			t.Errorf("%s drops = %d", tc.fc, res.Drops)
+		}
+	}
+}
+
+func TestCaseStudyVictim(t *testing.T) {
+	// Figure 14: after PFC deadlocks, the victim flow (which avoids the
+	// CBD channels) starves; under GFC it keeps its full share in the
+	// critical configuration.
+	res, victim, err := RunCaseStudy(CaseStudyConfig{
+		FC: PFC, Duration: 40 * units.Millisecond, WithCross: true, WithVictim: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("PFC did not deadlock")
+	}
+	if victim != 0 {
+		t.Errorf("PFC victim rate %v, want 0 (starved)", victim)
+	}
+	_, victim, err = RunCaseStudy(CaseStudyConfig{
+		FC: GFCBuf, Duration: 40 * units.Millisecond, WithVictim: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim < 4*units.Gbps {
+		t.Errorf("GFC victim rate %v, want ≈5G", victim)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	// Conceptual GFC: queue converges to B_s = 75KB, rate to 5G.
+	res, err := RunFig5(GFCConceptual, 20*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops != 0 {
+		t.Fatalf("drops = %d", res.Drops)
+	}
+	if q := res.SteadyQueue; q < 70*units.KB || q > 80*units.KB {
+		t.Errorf("steady queue %v, want ≈75KB", q)
+	}
+	if r := units.Rate(res.Rate.MeanAfter(15 * units.Millisecond)); r < 4.5*units.Gbps || r > 5.5*units.Gbps {
+		t.Errorf("steady rate %v, want ≈5G", r)
+	}
+
+	// PFC: queue saws between XON/XOFF; the rate trace must contain
+	// both line-rate and zero bins (ON/OFF alternation).
+	pfc, err := RunFig5(PFC, 20*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfc.Drops != 0 {
+		t.Fatalf("PFC drops = %d", pfc.Drops)
+	}
+	var sawZero, sawLine bool
+	for i, v := range pfc.Rate.V {
+		if pfc.Rate.T[i] < 5*units.Millisecond {
+			continue // skip the fill transient
+		}
+		if v == 0 {
+			sawZero = true
+		}
+		if v > 9e9 {
+			sawLine = true
+		}
+	}
+	if !sawZero || !sawLine {
+		t.Errorf("PFC rate did not alternate 0↔line (zero=%v line=%v)", sawZero, sawLine)
+	}
+	// Queue stays in the XON..XOFF+headroom band at steady state.
+	if q := pfc.SteadyQueue; q < 70*units.KB || q > 90*units.KB {
+		t.Errorf("PFC steady queue %v, want near XOFF=80KB", q)
+	}
+}
+
+func TestRunRingMatchesPaper(t *testing.T) {
+	// Figure 9(b): buffer-based GFC settles with the host queue in the
+	// first stage band and the input rate at 5G.
+	res, err := RunRing(RingConfig{FC: GFCBuf, Duration: 40 * units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.Drops != 0 {
+		t.Fatalf("GFC ring: deadlock=%v drops=%d", res.Deadlocked, res.Drops)
+	}
+	if q := res.SteadyQueue; q < 740*units.KB || q > 890*units.KB {
+		t.Errorf("steady queue %v, paper ≈840KB", q)
+	}
+	if r := res.SteadyRate; r < 4.5*units.Gbps || r > 5.5*units.Gbps {
+		t.Errorf("steady rate %v, paper 5G", r)
+	}
+
+	// Figure 9(a): PFC deadlocks in the 2-host formation regime.
+	pfc, err := RunRing(RingConfig{FC: PFC, Duration: 60 * units.Millisecond, HostsPerSwitch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pfc.Deadlocked {
+		t.Error("PFC ring did not deadlock")
+	}
+}
+
+func TestRunFig10Shapes(t *testing.T) {
+	// Figure 10(b): time-based GFC settles near 745 KB at 5G.
+	res, err := RunRing(RingConfig{FC: GFCTime, Duration: 40 * units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.Drops != 0 {
+		t.Fatalf("GFC-time ring: deadlock=%v drops=%d", res.Deadlocked, res.Drops)
+	}
+	if q := res.SteadyQueue; q < 650*units.KB || q > 800*units.KB {
+		t.Errorf("steady queue %v, paper ≈745KB", q)
+	}
+	// Figure 10(a): CBFC deadlocks in the formation regime.
+	cb, err := RunRing(RingConfig{FC: CBFC, Duration: 200 * units.Millisecond, HostsPerSwitch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cb.Deadlocked {
+		t.Error("CBFC ring did not deadlock")
+	}
+}
+
+func TestRunFig20Interaction(t *testing.T) {
+	res, err := RunFig20(15 * units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops != 0 {
+		t.Fatalf("drops = %d", res.Drops)
+	}
+	// GFC must have capped the onset: ingress queues bounded well below
+	// the 1MB buffer.
+	if res.MaxQueue >= 900*units.KB {
+		t.Errorf("max queue %v; GFC safeguard failed", res.MaxQueue)
+	}
+	// DCQCN converges near the 1.25G fair share and below GFC's cap.
+	if res.FinalDCQCN < 0.4*units.Gbps || res.FinalDCQCN > 3*units.Gbps {
+		t.Errorf("final DCQCN rate %v, want ≈1.25G", res.FinalDCQCN)
+	}
+	// Either GFC capped the onset (port rate dipped below line rate)
+	// or DCQCN reacted fast enough that the queue never reached B1 —
+	// both are the §7 division of labour; what must NOT happen is a
+	// deep queue with GFC silent.
+	var gfcEarly float64 = 10e9
+	for i, ts := range res.GFCRate.T {
+		if ts < units.Millisecond && res.GFCRate.V[i] < gfcEarly {
+			gfcEarly = res.GFCRate.V[i]
+		}
+	}
+	if gfcEarly >= 10e9 && res.MaxQueue >= 275*units.KB {
+		t.Error("queue crossed B1 but GFC never limited the port")
+	}
+}
+
+func TestRunOverheadFig19(t *testing.T) {
+	res, err := RunOverhead(OverheadConfig{K: 4, Duration: 10 * units.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops != 0 {
+		t.Fatalf("drops = %d", res.Drops)
+	}
+	// Paper: mean 0.21%, 99% < 0.4%, max 0.49%. Shape check: all tiny.
+	if res.Mean > 0.005 {
+		t.Errorf("mean overhead %.4f, want < 0.5%%", res.Mean)
+	}
+	if res.Max > 0.02 {
+		t.Errorf("max overhead %.4f, implausibly high", res.Max)
+	}
+	if res.CDF.Len() == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestGenerateScenarioDeterminism(t *testing.T) {
+	_, _, p1 := GenerateScenario(4, 0.05, 35)
+	_, _, p2 := GenerateScenario(4, 0.05, 35)
+	if p1 != p2 {
+		t.Fatal("scenario generation not deterministic")
+	}
+	if !p1 {
+		t.Fatal("seed 35 should be CBD-prone (regression guard)")
+	}
+}
+
+func TestRunScenarioSmoke(t *testing.T) {
+	topo, tab, prone := GenerateScenario(4, 0.05, 35)
+	if !prone {
+		t.Skip("seed no longer prone")
+	}
+	cfg := DefaultSweep(4)
+	cfg.Duration = 5 * units.Millisecond
+	res, err := RunScenario(topo, tab, GFCBuf, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Error("GFC deadlocked in sweep scenario")
+	}
+	if res.Drops != 0 {
+		t.Errorf("drops = %d", res.Drops)
+	}
+	if res.HostBandwidth <= 0 {
+		t.Error("no goodput recorded")
+	}
+	if res.FeedbackFraction < 0 || res.FeedbackFraction > 0.05 {
+		t.Errorf("feedback fraction %v out of range", res.FeedbackFraction)
+	}
+}
+
+func TestFig15Rows(t *testing.T) {
+	tbl := Fig15Rows()
+	out := tbl.String()
+	if !strings.Contains(out, "10KB") || !strings.Contains(out, "0.65") {
+		t.Errorf("Fig15 table missing expected knots:\n%s", out)
+	}
+}
+
+func TestReportTables(t *testing.T) {
+	results := map[int]map[FC]*SweepResult{
+		4: {
+			PFC:    {FC: PFC, K: 4, CBDProne: 5, DeadlockCases: 2},
+			GFCBuf: {FC: GFCBuf, K: 4, CBDProne: 5, DeadlockCases: 0},
+		},
+	}
+	results[4][PFC].Bandwidth.Add(5e9)
+	results[4][PFC].Slowdown.Add(2.0)
+	results[4][GFCBuf].Bandwidth.Add(5e9)
+	results[4][GFCBuf].Slowdown.Add(2.0)
+
+	t1 := Table1Rows(results, []int{4}).String()
+	if !strings.Contains(t1, "k=4") || !strings.Contains(t1, "2") {
+		t.Errorf("Table1:\n%s", t1)
+	}
+	f16 := Fig16Rows(results, []int{4}).String()
+	if !strings.Contains(f16, "5Gbps") {
+		t.Errorf("Fig16:\n%s", f16)
+	}
+	f17 := Fig17Rows(results, []int{4}).String()
+	if !strings.Contains(f17, "1.000") {
+		t.Errorf("Fig17:\n%s", f17)
+	}
+}
+
+func TestRunEvolutionPFCCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := DefaultEvolution(PFC)
+	res, err := RunEvolution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Skip("selected seed no longer deadlocks under PFC; Figure 18 bench scans seeds")
+	}
+	gfc, err := RunEvolution(DefaultEvolution(GFCBuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gfc.Deadlocked {
+		t.Error("GFC deadlocked in evolution run")
+	}
+	if gfc.FinalRate < units.Gbps {
+		t.Errorf("GFC final aggregate %v, want healthy", gfc.FinalRate)
+	}
+	// The paper's k=16 network wedges completely within ~200µs; in this
+	// reduced k=4 horizon the collapse is partial — CBD-adjacent hosts
+	// freeze while distant ones keep running until their next dead-path
+	// destination. The comparative claim must hold: PFC's post-deadlock
+	// aggregate sits well below GFC's on the identical scenario.
+	if res.FinalRate >= gfc.FinalRate*3/4 {
+		t.Errorf("PFC final %v not clearly below GFC final %v", res.FinalRate, gfc.FinalRate)
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// CaseStudyResult is the outcome of one Figure 12/13 run: per-flow
+// throughput series and the deadlock verdict.
+type CaseStudyResult struct {
+	FC         FC
+	Deadlocked bool
+	DeadlockAt units.Time
+	// FlowRates[i] is flow i+1's average goodput over the final
+	// measurement window.
+	FlowRates []units.Rate
+	// Throughput is the aggregate goodput, binned at 100 µs (§6.2.3).
+	Throughput *stats.BinCounter
+	Drops      int64
+
+	// Victim statistics (WithVictim only). VictimRate is the final
+	// window's goodput; VictimTotal the cumulative delivery;
+	// VictimProgressed whether any victim byte arrived during the final
+	// window — the deadlock-starvation discriminator (under a squeezed
+	// but alive GFC fabric the rate can quantise to zero packets per
+	// window while progress continues over longer spans).
+	VictimRate       units.Rate
+	VictimTotal      units.Size
+	VictimProgressed bool
+}
+
+// CaseStudyConfig parameterises the Figures 12–14 runs.
+type CaseStudyConfig struct {
+	FC         FC
+	Scheduling netsim.Scheduling
+	Duration   units.Time // default 100 ms
+	WithVictim bool       // add the Figure 14 victim flow
+	// Oversubscribed adds the sibling flows, doubling CBD load.
+	Oversubscribed bool
+	// WithCross adds the CrossFlow squeeze trigger; with it, the CBD
+	// fills and PFC/CBFC deadlock even under fair input-queued
+	// switching.
+	WithCross bool
+}
+
+// RunCaseStudy executes the fat-tree deadlock case study (Figures 12, 13
+// and, with WithVictim, 14) under one flow-control scheme.
+func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, units.Rate, error) {
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * units.Millisecond
+	}
+	sc := NewFatTreeDeadlock()
+	simCfg, fp := SimParams()
+	simCfg.FlowControl = fp.Factory(cfg.FC)
+	simCfg.Scheduling = cfg.Scheduling
+
+	tp := stats.NewBinCounter(100 * units.Microsecond)
+	simCfg.Trace = &netsim.Trace{
+		OnDeliver: func(t units.Time, _ *netsim.Flow, pkt *netsim.Packet) {
+			tp.Add(t, pkt.Size)
+		},
+	}
+	net, err := netsim.New(sc.Topo, simCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	flows := sc.Flows()
+	if cfg.Oversubscribed {
+		flows = append(flows, sc.SiblingFlows()...)
+	}
+	if cfg.WithCross {
+		flows = append(flows, sc.CrossFlow())
+	}
+	for _, f := range flows {
+		if err := net.AddFlow(f, 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	var victim *netsim.Flow
+	if cfg.WithVictim {
+		victim = sc.VictimFlow()
+		if err := net.AddFlow(victim, 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	det := deadlock.NewDetector(net)
+	det.Install()
+
+	// Run to the measurement window, snapshot, then finish. A heartbeat
+	// keeps the clock advancing through deadlocked (event-free) phases.
+	windowStart := cfg.Duration * 3 / 4
+	hb := windowStart / 2
+	for net.Now() < windowStart {
+		at := net.Now() + hb
+		if at > windowStart {
+			at = windowStart
+		}
+		net.Engine().Schedule(at, func() {})
+		net.Run(at)
+	}
+	base := make([]units.Size, len(flows))
+	for i, f := range flows {
+		base[i] = f.Delivered
+	}
+	var victimBase units.Size
+	if victim != nil {
+		victimBase = victim.Delivered
+	}
+	net.Engine().Schedule(cfg.Duration, func() {})
+	net.Run(cfg.Duration)
+	window := cfg.Duration - windowStart
+
+	res := &CaseStudyResult{
+		FC:         cfg.FC,
+		Throughput: tp,
+		Drops:      net.Drops(),
+	}
+	if rep := det.Deadlocked(); rep != nil {
+		res.Deadlocked = true
+		res.DeadlockAt = rep.At
+	}
+	for i, f := range flows {
+		res.FlowRates = append(res.FlowRates, units.RateOf(f.Delivered-base[i], window))
+	}
+	var victimRate units.Rate
+	if victim != nil {
+		victimRate = units.RateOf(victim.Delivered-victimBase, window)
+		res.VictimRate = victimRate
+		res.VictimTotal = victim.Delivered
+		res.VictimProgressed = victim.Delivered > victimBase
+	}
+	return res, victimRate, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"github.com/gfcsim/gfc/internal/dcqcn"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Fig20Result holds the §7 interaction study traces: the switch ingress
+// queue, H1's DCQCN rate and H1's GFC port rate over time. The paper's
+// narrative: GFC caps the port at 1.25 Gb/s within one hop-RTT of the incast
+// onset; DCQCN then converges below that, at which point GFC is inactive.
+type Fig20Result struct {
+	Queue     *stats.Series // ingress queue at S1 from H1
+	DCQCNRate *stats.Series // H1 flow rate under DCQCN
+	GFCRate   *stats.Series // H1 port rate under GFC
+	// MaxQueue is the worst ingress occupancy across S1's ports.
+	MaxQueue units.Size
+	// FinalDCQCN is DCQCN's rate at the end (≈ fair share 1.25 Gb/s).
+	FinalDCQCN units.Rate
+	Drops      int64
+}
+
+// RunFig20 executes the dumbbell incast (8 senders → 1 receiver, ECN
+// threshold 40 KB) with buffer-based GFC and DCQCN together.
+func RunFig20(duration units.Time) (*Fig20Result, error) {
+	if duration == 0 {
+		duration = 20 * units.Millisecond
+	}
+	// "All settings of buffer-based GFC are consistent with
+	// aforementioned simulations" (§7): 300 KB buffers, so the incast
+	// onset crosses B1 before DCQCN's end-to-end loop reacts.
+	topo := topology.Dumbbell(8, topology.DefaultLinkParams())
+	simCfg, fp := SimParams()
+	cfg := netsim.Config{
+		BufferSize:   simCfg.BufferSize,
+		ECNThreshold: 40 * units.KB,
+		FlowControl:  fp.Factory(GFCBuf),
+	}
+	res := &Fig20Result{
+		Queue:     &stats.Series{},
+		DCQCNRate: &stats.Series{},
+		GFCRate:   &stats.Series{},
+	}
+	s1 := topo.MustLookup("S1")
+	cfg.Trace = &netsim.Trace{
+		OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
+			if node == s1 && port == 0 {
+				res.Queue.Append(t, float64(q))
+			}
+			if node == s1 && units.Size(q) > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		},
+	}
+	net, err := netsim.New(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab := routing.NewSPF(topo)
+	recv := topo.MustLookup("H9")
+	for i := 1; i <= 8; i++ {
+		src := topo.MustLookup(hostName(i))
+		path, err := tab.Path(src, recv, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		f := &netsim.Flow{ID: i, Src: src, Dst: recv, Path: path}
+		rp := dcqcn.Attach(net, f, dcqcn.DefaultConfig(10*units.Gbps))
+		if i == 1 {
+			rp.RateLog = func(t units.Time, r units.Rate) {
+				res.DCQCNRate.Append(t, float64(r))
+			}
+		}
+		if err := net.AddFlow(f, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Sample H1's GFC port rate periodically.
+	h1 := topo.MustLookup("H1")
+	var sample func()
+	sample = func() {
+		res.GFCRate.Append(net.Now(), float64(net.SenderRate(h1, 0, 0)))
+		if net.Now() < duration {
+			net.Engine().After(50*units.Microsecond, sample)
+		}
+	}
+	net.Engine().After(50*units.Microsecond, sample)
+	net.Run(duration)
+	res.FinalDCQCN = units.Rate(res.DCQCNRate.MeanAfter(duration * 3 / 4))
+	res.Drops = net.Drops()
+	return res, nil
+}
+
+func hostName(i int) string {
+	return string([]byte{'H', byte('0' + i)})
+}

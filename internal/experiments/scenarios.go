@@ -1,0 +1,209 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6), plus the ablations DESIGN.md calls out. Each
+// driver builds its scenario, runs the packet-level simulation and returns
+// the rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// FC names a flow-control scheme under evaluation.
+type FC string
+
+// The four schemes of the paper's comparison, plus the conceptual design of
+// §4.1 (continuous feedback; used by the Figure 5 illustration only).
+const (
+	PFC           FC = "PFC"
+	CBFC          FC = "CBFC"
+	GFCBuf        FC = "GFC-buffer"
+	GFCTime       FC = "GFC-time"
+	GFCConceptual FC = "GFC-conceptual"
+)
+
+// AllFCs lists the four schemes in the paper's presentation order.
+func AllFCs() []FC { return []FC{PFC, GFCBuf, CBFC, GFCTime} }
+
+// IsGFC reports whether the scheme is one of the GFC variants.
+func (fc FC) IsGFC() bool { return fc == GFCBuf || fc == GFCTime }
+
+// FCParams carries the per-scheme parameters of one experimental setup.
+type FCParams struct {
+	XOFF, XON units.Size // PFC
+	B1        units.Size // buffer-based GFC first threshold
+	Bm        units.Size // GFC mapping ceiling (0 = derive)
+	Period    units.Time // CBFC / time-based GFC feedback period
+	B0        units.Size // time-based GFC threshold
+}
+
+// Factory returns the flowcontrol.Factory for scheme fc under params p.
+func (p FCParams) Factory(fc FC) flowcontrol.Factory {
+	switch fc {
+	case PFC:
+		if p.XOFF > 0 {
+			return flowcontrol.NewPFC(flowcontrol.PFCConfig{XOFF: p.XOFF, XON: p.XON})
+		}
+		return flowcontrol.NewPFCDefault()
+	case CBFC:
+		return flowcontrol.NewCBFC(flowcontrol.CBFCConfig{Period: p.Period})
+	case GFCBuf:
+		return flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{B1: p.B1, Bm: p.Bm})
+	case GFCTime:
+		return flowcontrol.NewGFCTime(flowcontrol.GFCTimeConfig{Period: p.Period, B0: p.B0, Bm: p.Bm})
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", fc))
+	}
+}
+
+// TestbedParams are the §6.1 software-testbed settings: 1 MB buffers,
+// τ = 90 µs, XOFF/XON = 800/797 KB, B1 = 750 KB, T = 52.4 µs, B0 = 492 KB.
+func TestbedParams() (netsim.Config, FCParams) {
+	cfg := netsim.Config{
+		BufferSize: 1000 * units.KB,
+		Tau:        90 * units.Microsecond,
+	}
+	fp := FCParams{
+		XOFF:   800 * units.KB,
+		XON:    797 * units.KB,
+		B1:     750 * units.KB,
+		Period: 52400 * units.Nanosecond,
+		B0:     492 * units.KB,
+	}
+	return cfg, fp
+}
+
+// SimParams are the §6.2.2 packet-level simulation settings: 300 KB buffers,
+// 10 Gb/s, 1 µs propagation, XOFF/XON = 280/277 KB.
+//
+// The paper sets B_m = B = 300 KB and B1 = 281 KB / B0 = 159 KB. Because the
+// practical step mapping keeps a positive floor rate at its deepest stage
+// (§4.2), a fully stopped drain can push the queue a few packets past B_m;
+// we keep four MTUs of headroom (B_m = 294 KB) and shift B1/B0 down by the
+// same margin so the paper's own safety bounds still hold and losslessness
+// stays strict.
+func SimParams() (netsim.Config, FCParams) {
+	cfg := netsim.Config{
+		BufferSize: 300 * units.KB,
+	}
+	fp := FCParams{
+		XOFF:   280 * units.KB,
+		XON:    277 * units.KB,
+		B1:     275 * units.KB,
+		Bm:     294 * units.KB,
+		Period: 52400 * units.Nanosecond,
+		B0:     153 * units.KB,
+	}
+	return cfg, fp
+}
+
+// FatTreeDeadlockScenario is the Figure 11/12 case study: a k=4 fat-tree
+// with link failures that force shortest paths into a 4-channel cyclic
+// buffer dependency C1→A3→C2→A7→C1, exercised by the paper's four flows
+// F1: H0→H8, F2: H4→H12, F3: H9→H1, F4: H13→H5.
+//
+// The paper marks three failed links in its Figure 11; the exact count
+// needed depends on the (unpublished) wiring of their drawing. On the
+// canonical fat-tree wiring used here, four failures produce the identical
+// CBD: C1–A5 and E5–A6 force F3's up-down-up detour, A1–C2 and E1–A2 force
+// F1's.
+type FatTreeDeadlockScenario struct {
+	Topo  *topology.Topology
+	Paths [][]routing.Hop // F1..F4 in order
+	// CBD lists the four cyclic channels for verification.
+	CBD [][2]string
+}
+
+// NewFatTreeDeadlock builds the scenario.
+func NewFatTreeDeadlock() *FatTreeDeadlockScenario {
+	topo := topology.FatTree(4, topology.DefaultLinkParams())
+	for _, pair := range [][2]string{
+		{"C1", "A5"}, {"A1", "C2"}, {"E1", "A2"}, {"E5", "A6"},
+	} {
+		topo.FailLinkBetween(pair[0], pair[1])
+	}
+	s := &FatTreeDeadlockScenario{Topo: topo}
+	s.Paths = [][]routing.Hop{
+		routing.MustExplicitPath(topo, "H0", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H8"),
+		routing.MustExplicitPath(topo, "H4", "E3", "A3", "C2", "A7", "E7", "H12"),
+		routing.MustExplicitPath(topo, "H9", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H1"),
+		routing.MustExplicitPath(topo, "H13", "E7", "A7", "C1", "A3", "E3", "H5"),
+	}
+	s.CBD = [][2]string{{"C1", "A3"}, {"A3", "C2"}, {"C2", "A7"}, {"A7", "C1"}}
+	return s
+}
+
+// Flows instantiates the four unbounded flows of the case study.
+func (s *FatTreeDeadlockScenario) Flows() []*netsim.Flow {
+	out := make([]*netsim.Flow, len(s.Paths))
+	for i, p := range s.Paths {
+		out[i] = &netsim.Flow{
+			ID:   i + 1,
+			Src:  p[0].Node,
+			Dst:  p[len(p)-1].Link.Other(p[len(p)-1].Node),
+			Path: p,
+		}
+	}
+	return out
+}
+
+// SiblingFlows returns four additional flows from the sibling host under
+// each source edge switch, following the same fabric paths as F1..F4. Adding
+// them doubles the offered load on every CBD channel (2:1 persistent
+// oversubscription), which makes the cyclic buffers fill deterministically
+// under any switching discipline — the regime in which PFC/CBFC deadlock
+// while GFC keeps trickling.
+func (s *FatTreeDeadlockScenario) SiblingFlows() []*netsim.Flow {
+	specs := [][]string{
+		{"H1", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H9"},
+		{"H5", "E3", "A3", "C2", "A7", "E7", "H13"},
+		{"H8", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H0"},
+		{"H12", "E7", "A7", "C1", "A3", "E3", "H4"},
+	}
+	out := make([]*netsim.Flow, len(specs))
+	for i, names := range specs {
+		p := routing.MustExplicitPath(s.Topo, names...)
+		out[i] = &netsim.Flow{
+			ID:   i + 5,
+			Src:  p[0].Node,
+			Dst:  p[len(p)-1].Link.Other(p[len(p)-1].Node),
+			Path: p,
+		}
+	}
+	return out
+}
+
+// CrossFlow returns the deadlock trigger: a fifth flow entering the CBD
+// switch A3 from the pod's other edge (E4) and sharing the cyclic channel
+// A3→C2. It gives the A3→C2 egress a third ingress claimant, squeezing
+// F1's transit service below its arrival rate; the ingress A3←C1 then fills,
+// pauses C1→A3, and the pause cascades around the cycle — the paper's
+// deadlock-formation mechanism ("deadlock pressures congestion back", §6.2).
+func (s *FatTreeDeadlockScenario) CrossFlow() *netsim.Flow {
+	p := routing.MustExplicitPath(s.Topo, "H6", "E4", "A3", "C2", "A7", "E8", "H14")
+	return &netsim.Flow{
+		ID:   50,
+		Src:  p[0].Node,
+		Dst:  p[len(p)-1].Link.Other(p[len(p)-1].Node),
+		Path: p,
+	}
+}
+
+// VictimFlow returns the Figure 14 victim: a flow that shares links with the
+// CBD flows' paths but never traverses a CBD channel. H12→H4 retraces F2's
+// path in reverse (E7→A7 up, C2 down to A3, E3), using only the reverse
+// directions of the cyclic channels.
+func (s *FatTreeDeadlockScenario) VictimFlow() *netsim.Flow {
+	p := routing.MustExplicitPath(s.Topo, "H12", "E7", "A7", "C2", "A3", "E3", "H4")
+	return &netsim.Flow{
+		ID:   99,
+		Src:  p[0].Node,
+		Dst:  p[len(p)-1].Link.Other(p[len(p)-1].Node),
+		Path: p,
+	}
+}

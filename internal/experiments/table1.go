@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/gfcsim/gfc/internal/cbd"
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+	"github.com/gfcsim/gfc/internal/workload"
+)
+
+// SweepConfig parameterises the §6.2.3 large-scale simulations (Table 1 and
+// Figures 16–18): random link failures on fat-trees, empirical enterprise
+// traffic, deadlock detection.
+type SweepConfig struct {
+	K           int     // fat-tree arity (paper: 4, 8, 16)
+	Networks    int     // random failure scenarios to generate (paper: 10000)
+	Repeats     int     // workload repetitions per scenario (paper: 100)
+	FailureProb float64 // per-link failure probability (paper: 0.05)
+	Duration    units.Time
+	Seed        int64
+	Scheduling  netsim.Scheduling
+	// FlowsPerHost scales workload intensity (default 1, the paper's).
+	// Budget-limited sweeps use 2–4 to compensate for running far fewer
+	// repeats than the paper's 100 per topology.
+	FlowsPerHost int
+}
+
+// DefaultSweep returns a CI-sized sweep for arity k: the paper's failure
+// probability with reduced scenario/repeat counts, compensated by a 4×
+// workload intensity so deadlock occurrence stays observable (documented in
+// EXPERIMENTS.md; the paper runs 10000 scenarios × 100 repeats at 1 flow
+// per host).
+func DefaultSweep(k int) SweepConfig {
+	return SweepConfig{
+		K:            k,
+		Networks:     200,
+		Repeats:      2,
+		FailureProb:  0.05,
+		Duration:     25 * units.Millisecond,
+		Seed:         1,
+		FlowsPerHost: 4,
+	}
+}
+
+// ScenarioResult is the outcome of one (topology, scheme, repeat) run.
+type ScenarioResult struct {
+	Deadlocked bool
+	DeadlockAt units.Time
+	// HostBandwidth is the mean per-host goodput (Figure 16).
+	HostBandwidth units.Rate
+	// Slowdowns collects per-completed-flow slowdown samples (Fig 17).
+	Slowdowns []float64
+	// FeedbackFraction is total feedback bytes over total link capacity
+	// × time (one input to Figure 19).
+	FeedbackFraction float64
+	Drops            int64
+}
+
+// SweepResult aggregates one scheme over one scale.
+type SweepResult struct {
+	FC FC
+	K  int
+	// CBDProne is how many generated scenarios could form a CBD (the
+	// pre-filter of §6.2.3); only these are simulated.
+	CBDProne int
+	// DeadlockCases counts CBD-prone scenarios where any repeat
+	// deadlocked — a Table 1 cell.
+	DeadlockCases int
+	// Bandwidth and Slowdown aggregate over deadlock-free runs
+	// (Figures 16a/17a) and over all runs (16b/17b handled by caller).
+	Bandwidth stats.CDF
+	Slowdown  stats.CDF
+	Drops     int64
+}
+
+// GenerateScenario builds the i-th random failure scenario of a sweep:
+// a k-ary fat-tree with each fabric link failed with probability p. Returns
+// the topology, its routing table and whether all-pairs inter-rack routing
+// can form a CBD.
+func GenerateScenario(k int, p float64, seed int64) (*topology.Topology, *routing.Table, bool) {
+	topo := topology.FatTree(k, topology.DefaultLinkParams())
+	rng := rand.New(rand.NewSource(seed))
+	topo.FailRandomLinks(rng, p)
+	tab := routing.NewSPF(topo)
+	g := cbd.FromAllPairs(topo, tab, workload.EdgeRacks(topo))
+	return topo, tab, g.HasCycle()
+}
+
+// RunScenario executes one workload repetition on a prepared scenario.
+func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
+	simCfg, fp := SimParams()
+	simCfg.FlowControl = fp.Factory(fc)
+	simCfg.Scheduling = cfg.Scheduling
+
+	var feedback units.Size
+	simCfg.Trace = &netsim.Trace{
+		OnFeedback: func(_ units.Time, _, _ topology.NodeID, _ int, wire units.Size) {
+			feedback += wire
+		},
+	}
+	net, err := netsim.New(topo, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewGenerator(net, tab, workload.Enterprise(), workload.EdgeRacks(topo), repeatSeed)
+	gen.FlowsPerHost = cfg.FlowsPerHost
+	if err := gen.Start(); err != nil {
+		return nil, err
+	}
+	det := deadlock.NewDetector(net)
+	det.Install()
+	net.Run(cfg.Duration)
+
+	res := &ScenarioResult{Drops: net.Drops()}
+	if rep := det.Deadlocked(); rep != nil {
+		res.Deadlocked = true
+		res.DeadlockAt = rep.At
+	}
+	hosts := len(topo.Hosts())
+	res.HostBandwidth = units.RateOf(net.TotalDelivered(), cfg.Duration) / units.Rate(hosts)
+	for _, f := range gen.Completed {
+		ideal := routing.PathLatency(f.Path, 1500*units.Byte) +
+			units.TransmissionTime(f.Size, 10*units.Gbps)
+		res.Slowdowns = append(res.Slowdowns, stats.Slowdown(f.FCT(), ideal))
+	}
+	// Feedback fraction of total fabric capacity over the run.
+	var capBits float64
+	for i := 0; i < topo.NumLinks(); i++ {
+		l := topo.Link(topology.LinkID(i))
+		if !l.Failed {
+			capBits += 2 * float64(l.Capacity) * cfg.Duration.Seconds()
+		}
+	}
+	if capBits > 0 {
+		res.FeedbackFraction = float64(feedback.Bits()) / capBits
+	}
+	return res, nil
+}
+
+// RunSweep executes the Table 1 experiment for one scheme at one scale.
+// Scenario generation is shared across schemes via the seed, so — like the
+// paper observed — the same topologies deadlock under PFC and CBFC.
+func RunSweep(fc FC, cfg SweepConfig) (*SweepResult, error) {
+	out := &SweepResult{FC: fc, K: cfg.K}
+	for i := 0; i < cfg.Networks; i++ {
+		topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.Seed+int64(i))
+		if !prone {
+			continue
+		}
+		out.CBDProne++
+		dead := false
+		for r := 0; r < cfg.Repeats; r++ {
+			res, err := RunScenario(topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
+			if err != nil {
+				return nil, err
+			}
+			out.Drops += res.Drops
+			if res.Deadlocked {
+				dead = true
+			} else {
+				out.Bandwidth.Add(float64(res.HostBandwidth))
+				for _, s := range res.Slowdowns {
+					out.Slowdown.Add(s)
+				}
+			}
+		}
+		if dead {
+			out.DeadlockCases++
+		}
+	}
+	return out, nil
+}

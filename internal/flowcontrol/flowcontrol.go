@@ -1,0 +1,160 @@
+// Package flowcontrol implements the hop-by-hop flow controls the paper
+// studies, behind one interface: PFC (IEEE 802.1Qbb), InfiniBand
+// credit-based flow control (CBFC), and the three Gentle Flow Control
+// variants (conceptual, buffer-based and time-based).
+//
+// Flow control operates per directed channel (one direction of a link) and
+// per priority class. The downstream ingress side is a Receiver that
+// observes its queue and emits feedback Messages; the upstream egress side
+// is a Sender that gates packet transmission. The simulator (package netsim)
+// carries Messages from Receiver to Sender with the physical feedback
+// latency and charges their wire size against the reverse channel, which is
+// what the Figure 19 overhead measurement counts.
+package flowcontrol
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Kind enumerates feedback message types.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindPause / KindResume are PFC PAUSE frames (priority enable
+	// vector + timer, §2.2.1).
+	KindPause Kind = iota
+	KindResume
+	// KindStage carries a GFC stage ID in the repurposed Time[0..7]
+	// field of a PFC frame (§5.1).
+	KindStage
+	// KindCredit carries an FCCL value, CBFC-style (§2.2.2).
+	KindCredit
+	// KindQueue carries an instantaneous queue length; used by the
+	// conceptual design (§4.1), which assumes continuous feedback.
+	KindQueue
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPause:
+		return "PAUSE"
+	case KindResume:
+		return "RESUME"
+	case KindStage:
+		return "STAGE"
+	case KindCredit:
+		return "CREDIT"
+	case KindQueue:
+		return "QUEUE"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MessageSize is the wire size of every feedback frame: a minimum-size
+// Ethernet control frame, the m of the §4.2 overhead analysis.
+const MessageSize = 64 * units.Byte
+
+// Message is one feedback frame from a Receiver to its paired Sender.
+type Message struct {
+	Kind     Kind
+	Priority int
+	Stage    int        // KindStage
+	FCCL     int64      // KindCredit, in 64-byte blocks
+	Queue    units.Size // KindQueue
+}
+
+// Wire reports the frame's size on the wire.
+func (m Message) Wire() units.Size { return MessageSize }
+
+// Env is the runtime a controller executes in: the simulation clock, timer
+// service and the feedback path back to the paired Sender. Implementations
+// of Emit must apply the physical feedback latency.
+type Env interface {
+	Now() units.Time
+	After(d units.Time, fn func())
+	Emit(m Message)
+}
+
+// Params configures one controller instance (one channel direction, one
+// priority).
+type Params struct {
+	Capacity units.Rate // link rate C
+	Buffer   units.Size // ingress buffer allocation B for this priority
+	MTU      units.Size
+	Tau      units.Time // worst-case feedback latency, for safety bounds
+	Priority int
+}
+
+// Validate reports an error for inconsistent parameters.
+func (p Params) Validate() error {
+	if p.Capacity <= 0 {
+		return fmt.Errorf("flowcontrol: capacity %v must be positive", p.Capacity)
+	}
+	if p.Buffer <= 0 {
+		return fmt.Errorf("flowcontrol: buffer %v must be positive", p.Buffer)
+	}
+	if p.MTU <= 0 {
+		return fmt.Errorf("flowcontrol: MTU %v must be positive", p.MTU)
+	}
+	if p.Tau < 0 {
+		return fmt.Errorf("flowcontrol: negative tau %v", p.Tau)
+	}
+	return nil
+}
+
+// Sender is the egress-side half of a flow controller: it decides when the
+// next packet may start transmitting.
+type Sender interface {
+	// TrySend asks whether a packet of size s may start now. When it
+	// returns false, wake is the earliest time worth retrying, or
+	// units.Never to wait for the next feedback message.
+	TrySend(s units.Size) (ok bool, wake units.Time)
+	// OnSent records a completed transmission of size s that occupied
+	// the wire for dur.
+	OnSent(s units.Size, dur units.Time)
+	// OnFeedback delivers a feedback message from the paired Receiver.
+	OnFeedback(m Message)
+	// Rate reports the currently permitted sending rate (0 when paused);
+	// diagnostic, used by traces and tests.
+	Rate() units.Rate
+}
+
+// Receiver is the ingress-side half: it watches the queue and generates
+// feedback.
+type Receiver interface {
+	// Start installs any periodic behaviour (e.g. CBFC's timer) and
+	// sends the initial state.
+	Start()
+	// OnArrival reports that a packet of size s was admitted, bringing
+	// the ingress queue to q.
+	OnArrival(s, q units.Size)
+	// OnDeparture reports that a packet of size s left the switch,
+	// bringing the ingress queue to q.
+	OnDeparture(s, q units.Size)
+}
+
+// Controller pairs the two halves for one channel/priority.
+type Controller struct {
+	Sender   Sender
+	Receiver Receiver
+}
+
+// Factory builds a Controller for a channel with the given parameters. The
+// env's Emit must deliver messages to the returned Sender.
+type Factory func(p Params, env Env) (Controller, error)
+
+// MustFactory wraps a Factory into one that panics on error; convenient in
+// experiment setup code where parameters are static.
+func MustFactory(f Factory) func(p Params, env Env) Controller {
+	return func(p Params, env Env) Controller {
+		c, err := f(p, env)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+}

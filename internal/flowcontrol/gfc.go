@@ -1,0 +1,269 @@
+package flowcontrol
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// GFCBufferConfig configures buffer-based GFC (§5.1): the Message Generator
+// fires whenever the ingress queue crosses a stage threshold and the Rate
+// Adjuster maps the carried stage ID to a sending rate through the
+// multi-stage table.
+type GFCBufferConfig struct {
+	// B1 is the first stage threshold; it must satisfy B1 ≤ B − 2Cτ
+	// (§5.4). Zero means "derive the safe maximum from Params".
+	B1 units.Size
+	// Bm is the mapping ceiling; zero defaults to the buffer size minus
+	// four MTUs. The paper sets B_m = B outright, but its final stage
+	// keeps a positive rate (§4.2), so under a fully stopped drain the
+	// queue can exceed B_m by a few packets before feedback bites — the
+	// small default headroom preserves strict losslessness there.
+	Bm units.Size
+	// MinRate is the rate-limiter granularity floor; zero means the
+	// commodity default of 8 Kb/s.
+	MinRate units.Rate
+	// Slack is the rate-limiter conservatism; zero means the limiter
+	// default (see RateLimiter.Slack).
+	Slack float64
+	// Ratio is the per-stage rate ratio R_k/R_{k−1}; zero means the
+	// paper's 1/2 (equation 4). Equation (3) requires ≤ 3/4.
+	Ratio float64
+}
+
+// NewGFCBuffer returns a Factory for buffer-based GFC.
+func NewGFCBuffer(cfg GFCBufferConfig) Factory {
+	return func(p Params, env Env) (Controller, error) {
+		if err := p.Validate(); err != nil {
+			return Controller{}, err
+		}
+		bm := cfg.Bm
+		if bm == 0 {
+			bm = p.Buffer - 4*p.MTU
+		}
+		ratio := cfg.Ratio
+		if ratio == 0 {
+			ratio = 0.5
+		}
+		// Equation (1) generalised: B1 ≤ Bm − Cτ/(1−ratio).
+		need := units.Size(float64(units.BytesIn(p.Capacity, p.Tau)) / (1 - ratio))
+		bound := bm - need
+		b1 := cfg.B1
+		if b1 == 0 {
+			b1 = bound
+		}
+		if b1 > bound {
+			return Controller{}, fmt.Errorf(
+				"flowcontrol: B1 %v exceeds safe bound %v (Bm−Cτ/(1−r), r=%v, τ=%v)",
+				b1, bound, ratio, p.Tau)
+		}
+		table, err := core.NewStageTableRatio(p.Capacity, bm, b1, ratio)
+		if err != nil {
+			return Controller{}, err
+		}
+		rl := NewRateLimiter(p.Capacity)
+		if cfg.MinRate > 0 {
+			rl.MinRate = cfg.MinRate
+		}
+		if cfg.Slack > 0 {
+			rl.Slack = cfg.Slack
+		}
+		return Controller{
+			Sender:   &gfcBufferSender{p: p, table: table, rl: rl, env: env},
+			Receiver: &gfcBufferReceiver{p: p, table: table, env: env},
+		}, nil
+	}
+}
+
+type gfcBufferSender struct {
+	p     Params
+	table *core.StageTable
+	rl    *RateLimiter
+	env   Env
+	stage int
+}
+
+func (s *gfcBufferSender) TrySend(units.Size) (bool, units.Time) {
+	next := s.rl.NextAllowed()
+	if now := s.env.Now(); next > now {
+		return false, next
+	}
+	return true, 0
+}
+
+func (s *gfcBufferSender) OnSent(_ units.Size, dur units.Time) {
+	s.rl.OnSent(s.env.Now(), dur)
+}
+
+func (s *gfcBufferSender) OnFeedback(m Message) {
+	if m.Kind != KindStage {
+		return
+	}
+	s.stage = m.Stage
+	s.rl.SetRate(s.table.StageRate(m.Stage))
+}
+
+func (s *gfcBufferSender) Rate() units.Rate { return s.rl.Rate() }
+
+// Stage reports the last stage ID received (diagnostic).
+func (s *gfcBufferSender) Stage() int { return s.stage }
+
+// gfcBufferReceiver is the buffer-based Message Generator. Messages are
+// paced to at most one per τ: §4.2's overhead analysis ("in the worst case,
+// feedback messages are generated every τ") assumes exactly this, and
+// without it a queue flapping across a stage boundary would emit per packet.
+// A crossing during the hold-off is coalesced into one deferred message
+// carrying the then-current stage; the stage inequalities (eq. 1) budget one
+// τ of reaction delay, so the deferral preserves the safety argument.
+type gfcBufferReceiver struct {
+	p     Params
+	table *core.StageTable
+	env   Env
+
+	sent     int // last stage reported upstream
+	lastQ    units.Size
+	lastEmit units.Time
+	started  bool
+	pending  bool
+}
+
+func (r *gfcBufferReceiver) Start() {}
+
+func (r *gfcBufferReceiver) gap() units.Time {
+	if r.p.Tau > 0 {
+		return r.p.Tau
+	}
+	return units.Microsecond
+}
+
+func (r *gfcBufferReceiver) observe(q units.Size) {
+	r.lastQ = q
+	if r.pending {
+		return // a deferred emission will report the latest stage
+	}
+	st := r.table.StageFor(q)
+	if st == r.sent {
+		return
+	}
+	now := r.env.Now()
+	if r.started && now-r.lastEmit < r.gap() {
+		r.pending = true
+		r.env.After(r.lastEmit+r.gap()-now, r.flush)
+		return
+	}
+	r.emit(st)
+}
+
+func (r *gfcBufferReceiver) flush() {
+	r.pending = false
+	if st := r.table.StageFor(r.lastQ); st != r.sent {
+		r.emit(st)
+	}
+}
+
+func (r *gfcBufferReceiver) emit(st int) {
+	r.sent = st
+	r.started = true
+	r.lastEmit = r.env.Now()
+	r.env.Emit(Message{Kind: KindStage, Priority: r.p.Priority, Stage: st})
+}
+
+func (r *gfcBufferReceiver) OnArrival(_, q units.Size)   { r.observe(q) }
+func (r *gfcBufferReceiver) OnDeparture(_, q units.Size) { r.observe(q) }
+
+// GFCConceptualConfig configures the conceptual design of §4.1: feedback is
+// (approximately) continuous — a message on every queue change — and the
+// mapping function is the linear one of Figure 4(b). Impractical on real
+// wires (the message rate is unbounded) but exactly what Figure 5 simulates.
+type GFCConceptualConfig struct {
+	// B0 is the activation threshold; zero derives the Theorem 4.1 safe
+	// maximum Bm − 4Cτ.
+	B0 units.Size
+	// Bm is the mapping ceiling; zero means the buffer size.
+	Bm units.Size
+	// MinRate floors the mapped rate; zero means 8 Kb/s.
+	MinRate units.Rate
+}
+
+// NewGFCConceptual returns a Factory for conceptual GFC.
+func NewGFCConceptual(cfg GFCConceptualConfig) Factory {
+	return func(p Params, env Env) (Controller, error) {
+		if err := p.Validate(); err != nil {
+			return Controller{}, err
+		}
+		bm := cfg.Bm
+		if bm == 0 {
+			bm = p.Buffer
+		}
+		b0 := cfg.B0
+		if b0 == 0 {
+			b0 = core.ConceptualB0Bound(bm, p.Capacity, p.Tau)
+		}
+		if b0 <= 0 || b0 >= bm {
+			return Controller{}, fmt.Errorf("flowcontrol: conceptual GFC needs 0 < B0 (%v) < Bm (%v); buffer too small for τ=%v",
+				b0, bm, p.Tau)
+		}
+		m := core.ContinuousMapping{C: p.Capacity, B0: b0, Bm: bm}
+		rl := NewRateLimiter(p.Capacity)
+		if cfg.MinRate > 0 {
+			rl.MinRate = cfg.MinRate
+		}
+		return Controller{
+			Sender:   &gfcContinuousSender{p: p, mapping: m, rl: rl, env: env},
+			Receiver: &gfcConceptualReceiver{p: p, env: env},
+		}, nil
+	}
+}
+
+// gfcContinuousSender maps a queue-length signal through the continuous
+// mapping function; shared by conceptual GFC (signal = reported queue) and
+// time-based GFC (signal = Bm − remaining credit).
+type gfcContinuousSender struct {
+	p       Params
+	mapping core.ContinuousMapping
+	rl      *RateLimiter
+	env     Env
+}
+
+func (s *gfcContinuousSender) TrySend(units.Size) (bool, units.Time) {
+	next := s.rl.NextAllowed()
+	if now := s.env.Now(); next > now {
+		return false, next
+	}
+	return true, 0
+}
+
+func (s *gfcContinuousSender) OnSent(_ units.Size, dur units.Time) {
+	s.rl.OnSent(s.env.Now(), dur)
+}
+
+func (s *gfcContinuousSender) OnFeedback(m Message) {
+	if m.Kind != KindQueue {
+		return
+	}
+	s.rl.SetRate(s.mapping.Rate(m.Queue))
+}
+
+func (s *gfcContinuousSender) Rate() units.Rate { return s.rl.Rate() }
+
+type gfcConceptualReceiver struct {
+	p    Params
+	env  Env
+	last units.Size
+	sent bool
+}
+
+func (r *gfcConceptualReceiver) Start() {}
+
+func (r *gfcConceptualReceiver) observe(q units.Size) {
+	if r.sent && q == r.last {
+		return
+	}
+	r.sent = true
+	r.last = q
+	r.env.Emit(Message{Kind: KindQueue, Priority: r.p.Priority, Queue: q})
+}
+
+func (r *gfcConceptualReceiver) OnArrival(_, q units.Size)   { r.observe(q) }
+func (r *gfcConceptualReceiver) OnDeparture(_, q units.Size) { r.observe(q) }

@@ -1,0 +1,130 @@
+package flowcontrol
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// GFCTimeConfig configures time-based GFC (§5.2). The Message Generator is
+// CBFC's, completely unmodified: a periodic credit advertisement every T.
+// Only the Rate Adjuster changes — instead of gating on credit exhaustion it
+// derives the remaining downstream buffer from FCCL − FCTBS and maps it
+// through the continuous function, with the Theorem 5.1 threshold
+// B0 ≤ Bm − (√(τ/T)+1)²·CT.
+type GFCTimeConfig struct {
+	// Period is the feedback interval T; zero means the InfiniBand
+	// recommendation for the link capacity.
+	Period units.Time
+	// B0 is the activation threshold; zero derives the Theorem 5.1 safe
+	// maximum.
+	B0 units.Size
+	// Bm is the mapping ceiling; zero defaults to the buffer size minus
+	// four MTUs of headroom, which absorbs the MinRate floor's residual
+	// trickle when a downstream drain stops completely.
+	Bm units.Size
+	// MinRate floors the mapped rate; zero means 8 Kb/s.
+	MinRate units.Rate
+	// Slack is the rate-limiter conservatism; zero means the limiter
+	// default.
+	Slack float64
+}
+
+// NewGFCTime returns a Factory for time-based GFC.
+//
+// Faithful to §5.2, the Rate Adjuster fully replaces CBFC's credit gate:
+// FCCL/FCTBS are tracked only to derive the remaining downstream buffer, and
+// transmission is gated purely by the rate limiter. The rate therefore never
+// reaches zero — the hold-and-wait elimination — at the cost of a small
+// headroom requirement above Bm (see GFCTimeConfig.Bm).
+func NewGFCTime(cfg GFCTimeConfig) Factory {
+	return func(p Params, env Env) (Controller, error) {
+		if err := p.Validate(); err != nil {
+			return Controller{}, err
+		}
+		period := cfg.Period
+		if period == 0 {
+			period = RecommendedCBFCPeriod(p.Capacity)
+		}
+		bm := cfg.Bm
+		if bm == 0 {
+			bm = p.Buffer - 4*p.MTU
+		}
+		b0 := cfg.B0
+		if b0 == 0 {
+			b0 = core.TimeBasedB0Bound(bm, p.Capacity, p.Tau, period)
+		}
+		if b0 <= 0 || b0 >= bm {
+			return Controller{}, fmt.Errorf("flowcontrol: time-based GFC needs 0 < B0 (%v) < Bm (%v); buffer too small for τ=%v, T=%v",
+				b0, bm, p.Tau, period)
+		}
+		m := core.ContinuousMapping{C: p.Capacity, B0: b0, Bm: bm}
+		rl := NewRateLimiter(p.Capacity)
+		if cfg.MinRate > 0 {
+			rl.MinRate = cfg.MinRate
+		}
+		if cfg.Slack > 0 {
+			rl.Slack = cfg.Slack
+		}
+		return Controller{
+			Sender:   &gfcTimeSender{p: p, mapping: m, bm: bm, rl: rl, env: env},
+			Receiver: &cbfcReceiver{p: p, cfg: CBFCConfig{Period: period}, env: env},
+		}, nil
+	}
+}
+
+type gfcTimeSender struct {
+	p       Params
+	mapping core.ContinuousMapping
+	bm      units.Size
+	rl      *RateLimiter
+	env     Env
+
+	fctbs int64
+	fccl  int64
+	init  bool
+}
+
+func (s *gfcTimeSender) TrySend(sz units.Size) (bool, units.Time) {
+	if !s.init {
+		return false, units.Never
+	}
+	next := s.rl.NextAllowed()
+	if now := s.env.Now(); next > now {
+		return false, next
+	}
+	return true, 0
+}
+
+func (s *gfcTimeSender) OnSent(sz units.Size, dur units.Time) {
+	s.fctbs += Blocks(sz)
+	s.rl.OnSent(s.env.Now(), dur)
+}
+
+func (s *gfcTimeSender) OnFeedback(m Message) {
+	if m.Kind != KindCredit {
+		return
+	}
+	s.init = true
+	if m.FCCL > s.fccl {
+		s.fccl = m.FCCL
+	}
+	// Remaining downstream buffer in bytes; occupancy proxy q = Bm − rem.
+	rem := units.Size(s.fccl-s.fctbs) * CreditBlock
+	if rem < 0 {
+		rem = 0
+	}
+	q := s.bm - rem
+	if q < 0 {
+		q = 0
+	}
+	s.rl.SetRate(s.mapping.Rate(q))
+}
+
+func (s *gfcTimeSender) Rate() units.Rate {
+	if !s.init {
+		return 0
+	}
+	return s.rl.Rate()
+}

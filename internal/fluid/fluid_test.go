@@ -1,0 +1,133 @@
+package fluid
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+func fig5Mapping() core.ContinuousMapping {
+	return core.ContinuousMapping{C: 10 * units.Gbps, B0: 50 * units.KB, Bm: 100 * units.KB}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil mapping accepted")
+	}
+	if _, err := Run(Config{Mapping: Continuous{fig5Mapping()}}); err == nil {
+		t.Error("nil drain accepted")
+	}
+	if _, err := Run(Config{
+		Mapping: Continuous{fig5Mapping()},
+		Drain:   ConstantDrain(0),
+		Tau:     -1,
+	}); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestFig5FluidSteadyState(t *testing.T) {
+	// The paper's Figure 5 numbers in the fluid model: with a 5 Gb/s
+	// drain the queue converges to exactly B_s = 75 KB.
+	res, err := Run(Config{
+		Mapping: Continuous{fig5Mapping()},
+		Drain:   ConstantDrain(5 * units.Gbps),
+		Tau:     25 * units.Microsecond,
+		Horizon: 5 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steady < 74*units.KB || res.Steady > 76*units.KB {
+		t.Errorf("steady queue %v, want 75KB", res.Steady)
+	}
+	// τ=25µs with B0 at the Theorem 4.1 bound for this mapping:
+	// 4Cτ = 125KB > Bm−B0 = 50KB — B0 is beyond the safe bound, so an
+	// overshoot above B_s is expected but the run still converges
+	// because the drain never stalls.
+	if res.QMax < res.Steady {
+		t.Error("QMax below steady value")
+	}
+}
+
+func TestStepDrainRecovery(t *testing.T) {
+	// Drain stalls for 1 ms then resumes: queue rises toward Bm then
+	// returns to the steady point.
+	res, err := Run(Config{
+		Mapping: Continuous{fig5Mapping()},
+		Drain:   StepDrain(0, 5*units.Gbps, units.Millisecond),
+		Tau:     5 * units.Microsecond,
+		Horizon: 6 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QMax < 90*units.KB {
+		t.Errorf("stalled phase peaked at only %v", res.QMax)
+	}
+	if res.QMax > 100*units.KB {
+		t.Errorf("queue exceeded Bm: %v", res.QMax)
+	}
+	if res.Steady < 74*units.KB || res.Steady > 76*units.KB {
+		t.Errorf("post-recovery steady %v, want 75KB", res.Steady)
+	}
+}
+
+func TestStagedMapping(t *testing.T) {
+	st, err := core.NewStageTable(10*units.Gbps, 300*units.KB, 275*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Mapping: Staged{st},
+		Drain:   ConstantDrain(5 * units.Gbps),
+		Tau:     7400 * units.Nanosecond,
+		Horizon: 3 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queue parks in the stage-1 band (R1 = 5G = drain).
+	if res.Steady < 270*units.KB || res.Steady > 295*units.KB {
+		t.Errorf("staged steady %v, want within stage 1", res.Steady)
+	}
+	if res.Rate.Last() != 5e9 {
+		t.Errorf("final rate %v, want 5G", units.Rate(res.Rate.Last()))
+	}
+}
+
+func TestTimeBasedFeedback(t *testing.T) {
+	m := core.ContinuousMapping{C: 10 * units.Gbps, B0: 400 * units.KB, Bm: 600 * units.KB}
+	res, err := Run(Config{
+		Mapping: Continuous{m},
+		Drain:   ConstantDrain(2.5 * units.Gbps),
+		Tau:     7 * units.Microsecond,
+		Period:  52 * units.Microsecond,
+		Horizon: 10 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SteadyQueue(2.5 * units.Gbps) // 550KB
+	if res.Steady < want-10*units.KB || res.Steady > want+10*units.KB {
+		t.Errorf("steady %v, want ≈%v", res.Steady, want)
+	}
+}
+
+func TestRequiredBufferMatchesTheorem(t *testing.T) {
+	// The empirical minimum headroom must be at most the theorem's (the
+	// bound is sufficient) and within a small constant factor of it
+	// (the bound is not wildly loose: the proof's l ≥ 4 is tight for
+	// the worst-case drain).
+	theorem, empirical := RequiredBuffer(10*units.Gbps, 10*units.Microsecond)
+	if theorem != 4*units.BytesIn(10*units.Gbps, 10*units.Microsecond) {
+		t.Fatalf("theorem headroom = %v", theorem)
+	}
+	if empirical > theorem {
+		t.Errorf("empirical %v exceeds the theorem's sufficient bound %v", empirical, theorem)
+	}
+	if empirical < theorem/3 {
+		t.Errorf("empirical %v far below theorem %v; bound looks vacuous", empirical, theorem)
+	}
+}

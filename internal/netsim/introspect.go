@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// ChannelState is a snapshot of one egress queue — the unit of progress the
+// deadlock detector reasons about. The channel is identified by the
+// transmitting node, its local port and the priority class; traffic flows
+// toward Peer.
+type ChannelState struct {
+	Node topology.NodeID
+	Port int
+	Prio int
+	Peer topology.NodeID
+	// PeerPort is the ingress port index this channel feeds on Peer.
+	PeerPort int
+
+	// QueuedBytes is the egress backlog awaiting transmission.
+	QueuedBytes units.Size
+	// TxBytes is the cumulative data serialised on this channel; a
+	// channel whose TxBytes has not advanced while QueuedBytes > 0 is
+	// stalled.
+	TxBytes units.Size
+	// FedBy lists the local arrival-port indices whose VOQs hold bytes
+	// on this egress — i.e. which ingress buffers this channel's backlog
+	// is charged to. The deadlock detector derives wait-for edges from
+	// it.
+	FedBy []int
+	// Rate is the flow-control permitted rate of this channel.
+	Rate units.Rate
+}
+
+// ChannelStates snapshots every egress queue in the network. The slice is
+// ordered deterministically (node, port, priority).
+func (n *Network) ChannelStates() []ChannelState {
+	var out []ChannelState
+	for _, nd := range n.nodes {
+		for _, p := range nd.ports {
+			if p.link.Failed {
+				continue
+			}
+			for prio := range p.voqs {
+				cs := ChannelState{
+					Node: nd.id, Port: p.local, Prio: prio,
+					Peer: p.peer, PeerPort: p.peerPort,
+					QueuedBytes: p.queuedBytes[prio],
+					TxBytes:     p.txBytes[prio],
+				}
+				if s := p.senders[prio]; s != nil {
+					cs.Rate = s.Rate()
+				}
+				for key, b := range p.fedBytes[prio] {
+					if b > 0 {
+						cs.FedBy = append(cs.FedBy, key)
+					}
+				}
+				out = append(out, cs)
+			}
+		}
+	}
+	return out
+}
+
+// IngressState is a snapshot of one ingress buffer — the vertex the
+// deadlock detector's wait-for graph is built on, matching the CBD
+// formalism: an ingress buffer (channel From→Node) waits on the downstream
+// buffers its queued packets must enter next.
+type IngressState struct {
+	Node topology.NodeID // switch holding the buffer
+	Port int             // local ingress port index
+	Prio int
+	From topology.NodeID // upstream end of the channel
+
+	// Occupancy is the current buffer occupancy.
+	Occupancy units.Size
+	// Departed is the cumulative bytes that have left this buffer; an
+	// occupied buffer whose Departed does not advance is stalled.
+	Departed units.Size
+	// WaitsOn lists the next-hop nodes this buffer's traffic must reach:
+	// under input-queued switching, the head packet's next node (only
+	// the head can move); under output-queued disciplines, every next
+	// node with backlog from this ingress.
+	WaitsOn []topology.NodeID
+	// WaitRates[i] is the flow-control permitted rate of the egress
+	// channel toward WaitsOn[i]. A stalled buffer whose every wait rate
+	// is zero is blocked indefinitely (PFC pause, CBFC credit
+	// starvation); a positive rate means the buffer still trickles —
+	// GFC's hold-and-wait elimination in action.
+	WaitRates []units.Rate
+}
+
+// IngressStates snapshots every switch ingress buffer, ordered (node, port,
+// priority).
+func (n *Network) IngressStates() []IngressState {
+	var out []IngressState
+	for _, nd := range n.nodes {
+		if nd.kind != topology.Switch {
+			continue
+		}
+		for _, p := range nd.ports {
+			if p.link.Failed {
+				continue
+			}
+			for prio := range p.occupancy {
+				is := IngressState{
+					Node: nd.id, Port: p.local, Prio: prio,
+					From:      p.peer,
+					Occupancy: p.occupancy[prio],
+					Departed:  p.departed[prio],
+				}
+				addWait := func(eg *port) {
+					is.WaitsOn = append(is.WaitsOn, eg.peer)
+					var r units.Rate
+					if s := eg.senders[prio]; s != nil {
+						r = s.Rate()
+					}
+					is.WaitRates = append(is.WaitRates, r)
+				}
+				switch n.cfg.Scheduling {
+				case SchedInputQueued:
+					if q := p.inq[prio]; len(q) > 0 {
+						head := q[0]
+						addWait(nd.ports[head.Path[head.hop].Port])
+					}
+				case SchedBlocking:
+					// Backlog already in TX rings waits on
+					// those rings' peers; packets still in
+					// the ingress FIFO wait on whatever the
+					// forwarding core is stalled on (or on
+					// their own head's egress).
+					for _, eg := range nd.ports {
+						if eg.fedBytes[prio][p.local] > 0 {
+							addWait(eg)
+						}
+					}
+					if len(p.inq[prio]) > 0 {
+						if b := nd.fwdBlocked[prio]; b != nil {
+							addWait(b)
+						} else {
+							head := p.inq[prio][0]
+							addWait(nd.ports[head.Path[head.hop].Port])
+						}
+					}
+				default:
+					for _, eg := range nd.ports {
+						if eg.fedBytes[prio][p.local] > 0 {
+							addWait(eg)
+						}
+					}
+				}
+				out = append(out, is)
+			}
+		}
+	}
+	return out
+}
+
+// DropIngressHead forcibly removes the head packet of the given ingress
+// FIFO (SchedInputQueued only), releasing its buffer accounting as if it
+// had departed. This is the primitive deadlock *recovery* schemes use —
+// and the losslessness violation the paper criticises them for: the packet
+// is counted as a drop. Returns false when there is no such packet.
+func (n *Network) DropIngressHead(node topology.NodeID, portIdx, prio int) bool {
+	if n.cfg.Scheduling != SchedInputQueued {
+		return false
+	}
+	nd := n.nodes[node]
+	if nd.kind != topology.Switch || portIdx >= len(nd.ports) {
+		return false
+	}
+	ing := nd.ports[portIdx]
+	q := ing.inq[prio]
+	if len(q) == 0 {
+		return false
+	}
+	pkt := q[0]
+	ing.inq[prio] = q[1:]
+	ing.occupancy[prio] -= pkt.Size
+	ing.departed[prio] += pkt.Size
+	n.drops++
+	now := n.eng.Now()
+	n.cfg.Trace.drop(now, node, pkt)
+	n.cfg.Trace.queue(now, node, portIdx, prio, ing.occupancy[prio])
+	if r := ing.receivers[prio]; r != nil {
+		r.OnDeparture(pkt.Size, ing.occupancy[prio])
+	}
+	// The freed head may expose a packet for an idle egress.
+	if len(ing.inq[prio]) > 0 {
+		head := ing.inq[prio][0]
+		n.kick(nd.ports[head.Path[head.hop].Port])
+	}
+	return true
+}
+
+// TotalDelivered reports the sum of bytes delivered across all flows.
+func (n *Network) TotalDelivered() units.Size {
+	var total units.Size
+	for _, f := range n.flows {
+		total += f.Delivered
+	}
+	return total
+}

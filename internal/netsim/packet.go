@@ -1,0 +1,51 @@
+// Package netsim is the packet-level discrete-event simulator of a lossless
+// switching fabric. It models input-buffered switches with per-priority
+// ingress accounting, egress schedulers gated by pluggable hop-by-hop flow
+// control (package flowcontrol), links with serialization and propagation
+// delay, and hosts that source and sink flows.
+//
+// The simulator substitutes for the paper's DPDK testbed and OMNET++
+// simulator; §6.2.1 of the paper validates that this class of model
+// reproduces the testbed's flow-control dynamics. Losslessness is an
+// invariant: any packet drop is recorded and experiments treat it as a
+// failure.
+package netsim
+
+import (
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Packet is one frame traversing the fabric. Packets are source-routed: the
+// full path is stamped at the sending host, mirroring the deterministic
+// per-flow ECMP decision the routing table makes.
+type Packet struct {
+	Flow     *Flow
+	Seq      int64
+	Size     units.Size
+	Priority int
+	// Path and hop index: Path[hop] is the node currently holding the
+	// packet (next to transmit it).
+	Path []routing.Hop
+	hop  int
+
+	// Ingress accounting at the current switch: which local port and
+	// priority the packet arrived on. -1 at the source host.
+	arrivalPort int
+
+	// ECN is set when the packet passed a switch whose egress queue
+	// exceeded the marking threshold (used by DCQCN).
+	ECN bool
+
+	// Last marks the final packet of a finite flow.
+	Last bool
+
+	sentAt units.Time // when the source host finished serialising it
+}
+
+// CurrentHop returns the hop the packet is about to transmit over.
+func (p *Packet) CurrentHop() routing.Hop { return p.Path[p.hop] }
+
+// AtLastHop reports whether the next transmission delivers the packet to its
+// destination host.
+func (p *Packet) AtLastHop() bool { return p.hop == len(p.Path)-1 }

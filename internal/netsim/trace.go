@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Trace carries optional observation hooks. Every field may be nil. Hooks
+// fire synchronously inside the simulation loop; they must not mutate the
+// network.
+type Trace struct {
+	// OnQueue fires after an ingress queue changes: node, local port,
+	// priority, new occupancy.
+	OnQueue func(t units.Time, node topology.NodeID, port, prio int, q units.Size)
+	// OnArrival fires when a packet is fully received at a node (switch
+	// admission or host delivery).
+	OnArrival func(t units.Time, node topology.NodeID, pkt *Packet)
+	// OnTransmit fires when a node finishes serialising a packet.
+	OnTransmit func(t units.Time, node topology.NodeID, port int, pkt *Packet)
+	// OnDeliver fires when the destination host receives a packet.
+	OnDeliver func(t units.Time, f *Flow, pkt *Packet)
+	// OnFlowDone fires when a finite flow completes.
+	OnFlowDone func(t units.Time, f *Flow)
+	// OnFeedback fires when a flow-control message is sent from the
+	// ingress side at node `from` back to the egress side at node `to`;
+	// wire is the frame size (the Figure 19 overhead accounting).
+	OnFeedback func(t units.Time, from, to topology.NodeID, prio int, wire units.Size)
+	// OnDrop fires on a (never expected) packet drop.
+	OnDrop func(t units.Time, node topology.NodeID, pkt *Packet)
+}
+
+func (tr *Trace) queue(t units.Time, n topology.NodeID, port, prio int, q units.Size) {
+	if tr != nil && tr.OnQueue != nil {
+		tr.OnQueue(t, n, port, prio, q)
+	}
+}
+
+func (tr *Trace) arrival(t units.Time, n topology.NodeID, pkt *Packet) {
+	if tr != nil && tr.OnArrival != nil {
+		tr.OnArrival(t, n, pkt)
+	}
+}
+
+func (tr *Trace) transmit(t units.Time, n topology.NodeID, port int, pkt *Packet) {
+	if tr != nil && tr.OnTransmit != nil {
+		tr.OnTransmit(t, n, port, pkt)
+	}
+}
+
+func (tr *Trace) deliver(t units.Time, f *Flow, pkt *Packet) {
+	if tr != nil && tr.OnDeliver != nil {
+		tr.OnDeliver(t, f, pkt)
+	}
+}
+
+func (tr *Trace) flowDone(t units.Time, f *Flow) {
+	if tr != nil && tr.OnFlowDone != nil {
+		tr.OnFlowDone(t, f)
+	}
+}
+
+func (tr *Trace) feedback(t units.Time, from, to topology.NodeID, prio int, wire units.Size) {
+	if tr != nil && tr.OnFeedback != nil {
+		tr.OnFeedback(t, from, to, prio, wire)
+	}
+}
+
+func (tr *Trace) drop(t units.Time, n topology.NodeID, pkt *Packet) {
+	if tr != nil && tr.OnDrop != nil {
+		tr.OnDrop(t, n, pkt)
+	}
+}

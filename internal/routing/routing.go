@@ -1,0 +1,181 @@
+// Package routing computes shortest-path-first routes over a topology, the
+// routing discipline used throughout the paper's evaluation (§6.2.2). Ties
+// between equal-cost paths are broken by a deterministic per-flow hash, so
+// a given (source, destination) pair always follows the same path — which is
+// what lets the Table 1 sweep pre-filter CBD-prone cases.
+package routing
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Table holds per-destination shortest-path state for one topology. Build it
+// once per (topology, failure set); it is read-only afterwards and safe for
+// concurrent use.
+type Table struct {
+	topo *topology.Topology
+	// dist[dst][n] is the hop distance from n to dst over live links, or
+	// unreachable.
+	dist map[topology.NodeID][]int32
+}
+
+const unreachable int32 = 1 << 30
+
+// NewSPF computes shortest-path routing toward every host in t.
+func NewSPF(t *topology.Topology) *Table {
+	tab := &Table{topo: t, dist: make(map[topology.NodeID][]int32)}
+	for _, h := range t.Hosts() {
+		tab.dist[h] = bfsFrom(t, h)
+	}
+	return tab
+}
+
+// NewSPFToward computes routing toward only the given destinations; cheaper
+// than NewSPF when few hosts receive traffic.
+func NewSPFToward(t *topology.Topology, dsts []topology.NodeID) *Table {
+	tab := &Table{topo: t, dist: make(map[topology.NodeID][]int32)}
+	for _, d := range dsts {
+		if _, done := tab.dist[d]; !done {
+			tab.dist[d] = bfsFrom(t, d)
+		}
+	}
+	return tab
+}
+
+func bfsFrom(t *topology.Topology, src topology.NodeID) []int32 {
+	dist := make([]int32, t.NumNodes())
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, at := range t.Ports(n) {
+			if at.Link.Failed {
+				continue
+			}
+			// Hosts do not forward transit traffic: only the BFS
+			// source (the destination host) may expand through a
+			// host node.
+			if t.Node(n).Kind == topology.Host && n != src {
+				continue
+			}
+			if dist[at.Peer] > dist[n]+1 {
+				dist[at.Peer] = dist[n] + 1
+				queue = append(queue, at.Peer)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance reports the hop count from n to dst, with ok=false when dst is
+// unreachable (or not a routed destination).
+func (tab *Table) Distance(n, dst topology.NodeID) (int, bool) {
+	d, known := tab.dist[dst]
+	if !known || d[n] >= unreachable {
+		return 0, false
+	}
+	return int(d[n]), true
+}
+
+// Reachable reports whether dst can be reached from n.
+func (tab *Table) Reachable(n, dst topology.NodeID) bool {
+	_, ok := tab.Distance(n, dst)
+	return ok
+}
+
+// NextHops returns the attachments of n on shortest paths toward dst, in
+// port order. Empty when dst is unreachable.
+func (tab *Table) NextHops(n, dst topology.NodeID) []topology.Attachment {
+	d, known := tab.dist[dst]
+	if !known || d[n] >= unreachable || n == dst {
+		return nil
+	}
+	var out []topology.Attachment
+	for _, at := range tab.topo.Ports(n) {
+		if at.Link.Failed {
+			continue
+		}
+		if tab.topo.Node(at.Peer).Kind == topology.Host && at.Peer != dst {
+			continue
+		}
+		if d[at.Peer] == d[n]-1 {
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+// NextHop picks one next hop toward dst deterministically from flowKey
+// (ECMP by flow hash).
+func (tab *Table) NextHop(n, dst topology.NodeID, flowKey uint64) (topology.Attachment, bool) {
+	hops := tab.NextHops(n, dst)
+	if len(hops) == 0 {
+		return topology.Attachment{}, false
+	}
+	h := mix(flowKey ^ uint64(n)<<32 ^ uint64(dst))
+	return hops[h%uint64(len(hops))], true
+}
+
+// Hop is one forwarding step of a path: the node, the local egress port used
+// and the link it leads over.
+type Hop struct {
+	Node topology.NodeID
+	Port int
+	Link *topology.Link
+}
+
+// Path traces the full route a flow keyed by flowKey takes from src to dst,
+// one Hop per transmitting node (the destination is not included). It fails
+// when dst is unreachable.
+func (tab *Table) Path(src, dst topology.NodeID, flowKey uint64) ([]Hop, error) {
+	if src == dst {
+		return nil, fmt.Errorf("routing: src == dst (%d)", src)
+	}
+	if !tab.Reachable(src, dst) {
+		return nil, fmt.Errorf("routing: %s unreachable from %s",
+			tab.topo.Node(dst).Name, tab.topo.Node(src).Name)
+	}
+	var path []Hop
+	n := src
+	for n != dst {
+		at, ok := tab.NextHop(n, dst, flowKey)
+		if !ok {
+			return nil, fmt.Errorf("routing: no next hop from %s to %s",
+				tab.topo.Node(n).Name, tab.topo.Node(dst).Name)
+		}
+		path = append(path, Hop{Node: n, Port: at.Port, Link: at.Link})
+		n = at.Peer
+		if len(path) > tab.topo.NumNodes() {
+			return nil, fmt.Errorf("routing: loop detected from %s to %s",
+				tab.topo.Node(src).Name, tab.topo.Node(dst).Name)
+		}
+	}
+	return path, nil
+}
+
+// PathLatency reports the end-to-end serialization + propagation latency of
+// a path for one packet of the given size: the unloaded-network time a
+// same-sized packet needs, used for the slowdown metric of Figure 17.
+func PathLatency(path []Hop, pkt units.Size) units.Time {
+	var total units.Time
+	for _, h := range path {
+		total += units.TransmissionTime(pkt, h.Link.Capacity) + h.Link.Delay
+	}
+	return total
+}
+
+// mix is a 64-bit finalizer (splitmix64) giving a well-distributed
+// deterministic hash for ECMP selection.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+func TestBinCounter(t *testing.T) {
+	b := NewBinCounter(100 * units.Microsecond)
+	b.Add(0, 1000)
+	b.Add(50*units.Microsecond, 250)
+	b.Add(150*units.Microsecond, 500)
+	bins := b.Bins()
+	if len(bins) != 2 || bins[0] != 1250 || bins[1] != 500 {
+		t.Fatalf("bins = %v", bins)
+	}
+	// Bin 0: 1250B in 100µs = 100 Mb/s.
+	if got := b.Rate(0); got != 100*units.Mbps {
+		t.Errorf("Rate(0) = %v", got)
+	}
+	if got := b.Rate(5); got != 0 {
+		t.Errorf("Rate out of range = %v", got)
+	}
+	if b.Total() != 1750 {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if got := len(b.Rates()); got != 2 {
+		t.Errorf("Rates len = %d", got)
+	}
+}
+
+func TestBinCounterSparse(t *testing.T) {
+	b := NewBinCounter(units.Millisecond)
+	b.Add(10*units.Millisecond, 1)
+	if len(b.Bins()) != 11 {
+		t.Fatalf("bins = %d, want 11", len(b.Bins()))
+	}
+	for i := 0; i < 10; i++ {
+		if b.Bins()[i] != 0 {
+			t.Fatal("early bins not zero")
+		}
+	}
+}
+
+func TestBinCounterBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width did not panic")
+		}
+	}()
+	NewBinCounter(0)
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Max() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	s.Append(1, 5)
+	s.Append(2, 9)
+	s.Append(3, 7)
+	if s.Len() != 3 || s.Last() != 7 || s.Max() != 9 {
+		t.Fatalf("series stats wrong: %+v", s)
+	}
+	if got := s.MeanAfter(2); got != 8 {
+		t.Errorf("MeanAfter(2) = %v, want 8", got)
+	}
+	if got := s.MeanAfter(100); got != 0 {
+		t.Errorf("MeanAfter(past end) = %v", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Append(units.Time(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d", d.Len())
+	}
+	if d.T[0] != 0 || d.T[9] != 999 {
+		t.Fatal("endpoints not preserved")
+	}
+	// No-op when already small.
+	small := s.Downsample(2000)
+	if small.Len() != 1000 {
+		t.Fatal("small downsample changed length")
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	if c.Quantile(0.5) != 0 || c.Mean() != 0 {
+		t.Fatal("empty CDF not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := c.Quantile(1); got != 100 {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := c.Quantile(0.5); math.Abs(got-50.5) > 0.01 {
+		t.Errorf("median = %v, want 50.5", got)
+	}
+	if got := c.Mean(); got != 50.5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := c.Max(); got != 100 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{1, 2, 3, 4} {
+		c.Add(x)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+}
+
+func TestCDFStddev(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	if c.Stddev() != 0 {
+		t.Fatal("stddev of single sample not 0")
+	}
+	c.Add(5)
+	if c.Stddev() != 0 {
+		t.Fatal("stddev of identical samples not 0")
+	}
+	var c2 CDF
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		c2.Add(x)
+	}
+	if got := c2.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %v, want ≈2.138", got)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	if got := Slowdown(200, 100); got != 2 {
+		t.Errorf("Slowdown = %v", got)
+	}
+	if got := Slowdown(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("Slowdown with zero ideal = %v, want +Inf", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"Scale", "PFC", "GFC"}}
+	tb.AddRow("k=4", "32", "0")
+	tb.AddRow("k=16", "2", "0")
+	out := tb.String()
+	if !strings.Contains(out, "Scale") || !strings.Contains(out, "k=16") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+// Property: quantiles are monotone and bounded by min/max.
+func TestCDFQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c CDF
+		for i := 0; i < 50; i++ {
+			c.Add(rng.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return c.Quantile(0) <= c.Mean() && c.Mean() <= c.Quantile(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: At and Quantile are approximate inverses.
+func TestCDFInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c CDF
+		for i := 0; i < 100; i++ {
+			c.Add(rng.Float64() * 1000)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			x := c.Quantile(q)
+			p := c.At(x)
+			if math.Abs(p-q) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BinCounter.Total equals the sum of added sizes regardless of
+// arrival order.
+func TestBinCounterTotal(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := NewBinCounter(units.Millisecond)
+		var want units.Size
+		for i, v := range raw {
+			s := units.Size(v)
+			b.Add(units.Time(i%50)*units.Millisecond, s)
+			want += s
+		}
+		return b.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

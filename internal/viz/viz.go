@@ -1,0 +1,115 @@
+// Package viz renders time series and CDFs as compact ASCII charts for the
+// CLI and examples — enough to see the shape of a queue trace or a rate
+// evolution in a terminal, in the spirit of the paper's figures.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Chart renders series as an ASCII line chart of the given width and height
+// (in character cells). The series is resampled to the width; the y-axis is
+// scaled to [0, max]. yLabel names the quantity; the value formatter turns
+// a y value into an axis label (nil: %.3g).
+type Chart struct {
+	Width, Height int
+	YLabel        string
+	FormatY       func(float64) string
+}
+
+// DefaultChart is 72×12 cells.
+func DefaultChart(yLabel string) Chart {
+	return Chart{Width: 72, Height: 12, YLabel: yLabel}
+}
+
+// Render draws the series.
+func (c Chart) Render(s *stats.Series) string {
+	if c.Width <= 0 {
+		c.Width = 72
+	}
+	if c.Height <= 0 {
+		c.Height = 12
+	}
+	fy := c.FormatY
+	if fy == nil {
+		fy = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	if s == nil || s.Len() == 0 {
+		return "(no data)\n"
+	}
+	d := s.Downsample(c.Width)
+	ymax := d.Max()
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(d.V)))
+	}
+	for col, v := range d.V {
+		level := int(math.Round(v / ymax * float64(c.Height-1)))
+		if level < 0 {
+			level = 0
+		}
+		if level >= c.Height {
+			level = c.Height - 1
+		}
+		row := c.Height - 1 - level
+		grid[row][col] = '*'
+	}
+
+	var b strings.Builder
+	top := fy(ymax)
+	fmt.Fprintf(&b, "%s (max %s)\n", c.YLabel, top)
+	for r := range grid {
+		b.WriteByte('|')
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", len(d.V)))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " %s .. %s\n",
+		d.T[0].Duration(), d.T[len(d.T)-1].Duration())
+	return b.String()
+}
+
+// RenderCDF draws an empirical CDF as quantile rows.
+func RenderCDF(c *stats.CDF, label string, format func(float64) string) string {
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", label, c.Len())
+	if c.Len() == 0 {
+		return b.String()
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := c.Quantile(q)
+		bar := int(q * 40)
+		fmt.Fprintf(&b, "  p%-5.3g %-10s |%s\n", q*100, format(v),
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// RateSeries converts a BinCounter into a Series of rates for charting.
+func RateSeries(bc *stats.BinCounter) *stats.Series {
+	s := &stats.Series{}
+	for i, r := range bc.Rates() {
+		s.Append(units.Time(i)*bc.Width, float64(r))
+	}
+	return s
+}
+
+// FormatRate renders a y value that is a rate in bits/s.
+func FormatRate(v float64) string { return units.Rate(v).String() }
+
+// FormatSize renders a y value that is a size in bytes.
+func FormatSize(v float64) string { return units.Size(v).String() }

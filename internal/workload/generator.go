@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// RackOf groups hosts into racks; flows are only generated between different
+// racks (§6.2.3: "each host randomly chooses a destination in different
+// racks").
+type RackOf func(topology.NodeID) int
+
+// EdgeRacks returns the natural rack function for fat-trees built by
+// topology.FatTree: hosts under the same edge switch form a rack. For other
+// topologies it falls back to per-host racks (all pairs allowed).
+func EdgeRacks(t *topology.Topology) RackOf {
+	rack := make(map[topology.NodeID]int)
+	for _, h := range t.Hosts() {
+		ports := t.Ports(h)
+		if len(ports) == 1 {
+			rack[h] = int(ports[0].Peer)
+		} else {
+			rack[h] = -1 - int(h)
+		}
+	}
+	return func(n topology.NodeID) int { return rack[n] }
+}
+
+// Generator drives every host of a simulation with back-to-back flows drawn
+// from a size distribution toward random inter-rack destinations.
+type Generator struct {
+	Net   *netsim.Network
+	Table *routing.Table
+	Dist  *SizeDist
+	Racks RackOf
+	Rng   *rand.Rand
+	// Priority assigned to generated flows.
+	Priority int
+	// FlowsPerHost is how many flows each host keeps in flight
+	// concurrently; default 1 (the paper's workload). Higher values
+	// intensify transient convergence — useful to raise the deadlock
+	// occurrence rate in budget-limited Table 1 sweeps.
+	FlowsPerHost int
+
+	nextID int
+	// Completed accumulates finished flows for analysis.
+	Completed []*netsim.Flow
+}
+
+// NewGenerator wires a generator; call Start to begin traffic.
+func NewGenerator(net *netsim.Network, tab *routing.Table, dist *SizeDist, racks RackOf, seed int64) *Generator {
+	return &Generator{
+		Net:   net,
+		Table: tab,
+		Dist:  dist,
+		Racks: racks,
+		Rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Start launches the first flow on every host at time 0. Each completion
+// triggers the next flow from the same host. The simulation's Trace hook
+// OnFlowDone must be free for the generator's use (it installs its own
+// chaining through AddFlow callbacks instead — completion is observed via
+// per-flow goroutine-free scheduling below).
+func (g *Generator) Start() error {
+	k := g.FlowsPerHost
+	if k < 1 {
+		k = 1
+	}
+	hosts := g.Net.Topology().Hosts()
+	for _, h := range hosts {
+		for i := 0; i < k; i++ {
+			if err := g.launch(h, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// launch starts one flow from src at time at and schedules its successor.
+func (g *Generator) launch(src topology.NodeID, at units.Time) error {
+	dst, ok := g.pickDst(src)
+	if !ok {
+		return nil // no reachable inter-rack destination: host stays idle
+	}
+	g.nextID++
+	id := g.nextID
+	key := uint64(id)*1315423911 ^ uint64(src)<<24 ^ uint64(dst)
+	path, err := g.Table.Path(src, dst, key)
+	if err != nil {
+		return fmt.Errorf("workload: routing flow %d: %w", id, err)
+	}
+	f := &netsim.Flow{
+		ID:       id,
+		Src:      src,
+		Dst:      dst,
+		Size:     g.Dist.Sample(g.Rng),
+		Priority: g.Priority,
+		Path:     path,
+	}
+	f.OnDone = func(done *netsim.Flow) {
+		g.Completed = append(g.Completed, done)
+		// Chain the next flow from the same host immediately
+		// (§6.2.3: "Once this flow is finished, the host repeats the
+		// above process"). Routing failures cannot occur here: the
+		// host just proved it can route somewhere.
+		_ = g.launch(done.Src, g.Net.Now())
+	}
+	return g.Net.AddFlow(f, at)
+}
+
+// pickDst chooses a uniformly random reachable host in a different rack.
+func (g *Generator) pickDst(src topology.NodeID) (topology.NodeID, bool) {
+	hosts := g.Net.Topology().Hosts()
+	// Rejection-sample a bounded number of times, then scan.
+	for try := 0; try < 16; try++ {
+		d := hosts[g.Rng.Intn(len(hosts))]
+		if d != src && g.Racks(d) != g.Racks(src) && g.Table.Reachable(src, d) {
+			return d, true
+		}
+	}
+	var candidates []topology.NodeID
+	for _, d := range hosts {
+		if d != src && g.Racks(d) != g.Racks(src) && g.Table.Reachable(src, d) {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return topology.None, false
+	}
+	return candidates[g.Rng.Intn(len(candidates))], true
+}

@@ -1,0 +1,130 @@
+// Package workload generates the traffic of the paper's evaluation. The
+// large-scale sweeps (§6.2.3) drive every host with flows whose sizes follow
+// the empirically observed enterprise traffic pattern of Figure 15 (from the
+// "Let It Flow" enterprise workload [57]) toward uniformly random
+// destinations in other racks; each host starts a new flow as soon as its
+// previous one finishes.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// SizeDist is a flow-size distribution sampled by inverse-transform over a
+// piecewise log-linear CDF.
+type SizeDist struct {
+	// knots are (size, cumulative-probability) pairs, ascending in both.
+	sizes []float64 // log10 bytes
+	probs []float64
+}
+
+// point is one CDF knot: P(size ≤ Size) = Prob.
+type point struct {
+	Size units.Size
+	Prob float64
+}
+
+func newSizeDist(knots []point) *SizeDist {
+	d := &SizeDist{}
+	for _, k := range knots {
+		d.sizes = append(d.sizes, math.Log10(float64(k.Size)))
+		d.probs = append(d.probs, k.Prob)
+	}
+	return d
+}
+
+// Enterprise returns the flow-size distribution of Figure 15: the enterprise
+// workload measured in [57] (Let It Flow, NSDI'17) — mostly small flows
+// (median ≈ a few KB) with a heavy tail of multi-MB flows carrying most of
+// the bytes.
+func Enterprise() *SizeDist {
+	return newSizeDist([]point{
+		{250 * units.Byte, 0},
+		{500 * units.Byte, 0.15},
+		{1 * units.KB, 0.30},
+		{2 * units.KB, 0.42},
+		{5 * units.KB, 0.55},
+		{10 * units.KB, 0.65},
+		{30 * units.KB, 0.75},
+		{100 * units.KB, 0.84},
+		{300 * units.KB, 0.90},
+		{1 * units.MB, 0.95},
+		{3 * units.MB, 0.98},
+		{10 * units.MB, 0.998},
+		{30 * units.MB, 1.0},
+	})
+}
+
+// DataMining returns the heavier-tailed data-mining workload shape often
+// paired with the enterprise one, provided for workload-sensitivity
+// ablations.
+func DataMining() *SizeDist {
+	return newSizeDist([]point{
+		{100 * units.Byte, 0},
+		{300 * units.Byte, 0.45},
+		{1 * units.KB, 0.60},
+		{10 * units.KB, 0.75},
+		{100 * units.KB, 0.82},
+		{1 * units.MB, 0.88},
+		{10 * units.MB, 0.94},
+		{100 * units.MB, 0.99},
+		{1000 * units.MB, 1.0},
+	})
+}
+
+// Uniform returns a degenerate distribution that always samples size s; for
+// controlled experiments.
+func Uniform(s units.Size) *SizeDist {
+	return newSizeDist([]point{{s, 0}, {s + 1, 1.0}})
+}
+
+// Sample draws one flow size.
+func (d *SizeDist) Sample(rng *rand.Rand) units.Size {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.probs, u)
+	if i == 0 {
+		return units.Size(math.Pow(10, d.sizes[0]))
+	}
+	if i >= len(d.probs) {
+		i = len(d.probs) - 1
+	}
+	// Log-linear interpolation between knots i-1 and i.
+	p0, p1 := d.probs[i-1], d.probs[i]
+	s0, s1 := d.sizes[i-1], d.sizes[i]
+	frac := 0.0
+	if p1 > p0 {
+		frac = (u - p0) / (p1 - p0)
+	}
+	return units.Size(math.Round(math.Pow(10, s0+frac*(s1-s0))))
+}
+
+// CDFAt reports P(size ≤ s) under the distribution (for Figure 15
+// regeneration and goodness-of-fit tests).
+func (d *SizeDist) CDFAt(s units.Size) float64 {
+	ls := math.Log10(float64(s))
+	if ls <= d.sizes[0] {
+		return d.probs[0]
+	}
+	last := len(d.sizes) - 1
+	if ls >= d.sizes[last] {
+		return d.probs[last]
+	}
+	i := sort.SearchFloat64s(d.sizes, ls)
+	s0, s1 := d.sizes[i-1], d.sizes[i]
+	p0, p1 := d.probs[i-1], d.probs[i]
+	frac := (ls - s0) / (s1 - s0)
+	return p0 + frac*(p1-p0)
+}
+
+// Mean estimates the distribution's mean flow size by sampling.
+func (d *SizeDist) Mean(rng *rand.Rand, n int) units.Size {
+	var total units.Size
+	for i := 0; i < n; i++ {
+		total += d.Sample(rng)
+	}
+	return total / units.Size(n)
+}
