@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/gfcsim/gfc/internal/experiments"
@@ -30,6 +31,7 @@ var (
 	repeats  = flag.Int("repeats", 3, "table1: workload repeats per scenario")
 	scales   = flag.String("scales", "4,8", "table1: comma-separated fat-tree arities")
 	seed     = flag.Int64("seed", 1, "base random seed")
+	workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "table1/fig16/fig17: scenarios simulated concurrently")
 	series   = flag.Bool("series", false, "print raw time-series data points")
 	chart    = flag.Bool("chart", false, "render time series as ASCII charts")
 )
@@ -223,6 +225,7 @@ func runSweep(which string) error {
 		cfg.Repeats = *repeats
 		cfg.Seed = *seed
 		cfg.Duration = dur(cfg.Duration)
+		cfg.Workers = *workers
 		for _, fc := range experiments.AllFCs() {
 			fmt.Fprintf(os.Stderr, "sweep k=%d %s...\n", k, fc)
 			res, err := experiments.RunSweep(fc, cfg)

@@ -2,14 +2,21 @@
 // CBD-prone ones statically, drive them with the enterprise workload and
 // count deadlock cases per flow-control scheme. A reduced-scale version of
 // the paper's §6.2.3 sweep; cmd/gfcsim runs the full one.
+//
+// Scenarios are simulated in parallel (-workers); each is a share-nothing
+// Network seeded from its index and results are folded in scenario order,
+// so the output is byte-identical for every worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	gfc "github.com/gfcsim/gfc"
+	"github.com/gfcsim/gfc/internal/runner"
 )
 
 func main() {
@@ -17,6 +24,7 @@ func main() {
 	networks := flag.Int("networks", 120, "random scenarios to scan")
 	repeats := flag.Int("repeats", 2, "workload repeats per prone scenario")
 	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scenarios simulated concurrently")
 	flag.Parse()
 
 	type scheme struct {
@@ -29,42 +37,65 @@ func main() {
 		{"CBFC", gfc.NewCBFC(gfc.CBFCConfig{Period: 52400 * gfc.Nanosecond})},
 		{"GFC-time", gfc.NewGFCTime(gfc.GFCTimeConfig{Period: 52400 * gfc.Nanosecond, B0: 153 * gfc.KB, Bm: 294 * gfc.KB})},
 	}
-	deadlocks := make([]int, len(schemes))
-	prone := 0
 
+	// outcome is one scenario's result: whether it was CBD-prone and, if
+	// so, which schemes deadlocked on any repeat.
+	type outcome struct {
+		prone bool
+		dead  []bool
+	}
+	jobs := make([]runner.Job[outcome], *networks)
 	for i := 0; i < *networks; i++ {
-		topo := gfc.FatTree(*k, gfc.DefaultLinkParams())
-		rng := rand.New(rand.NewSource(*seed + int64(i)))
-		topo.FailRandomLinks(rng, 0.05)
-		tab := gfc.NewSPF(topo)
-		if !gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo)).HasCycle() {
-			continue // statically CBD-free: cannot deadlock
-		}
-		prone++
-		for si, s := range schemes {
-			dead := false
-			for r := 0; r < *repeats && !dead; r++ {
-				sim, err := gfc.NewSimulation(topo, gfc.Options{
-					BufferSize:  300 * gfc.KB,
-					FlowControl: s.factory,
-				})
-				if err != nil {
-					panic(err)
-				}
-				gen := gfc.NewTrafficGenerator(sim, tab,
-					gfc.EnterpriseWorkload(), gfc.EdgeRacks(topo),
-					*seed*1000+int64(i*(*repeats)+r))
-				if err := gen.Start(); err != nil {
-					panic(err)
-				}
-				det := gfc.NewDeadlockDetector(sim)
-				det.Install()
-				sim.Run(20 * gfc.Millisecond)
-				if det.Deadlocked() != nil {
-					dead = true
+		i := i
+		jobs[i] = func(context.Context) (outcome, error) {
+			topo := gfc.FatTree(*k, gfc.DefaultLinkParams())
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			topo.FailRandomLinks(rng, 0.05)
+			tab := gfc.NewSPF(topo)
+			if !gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo)).HasCycle() {
+				return outcome{}, nil // statically CBD-free: cannot deadlock
+			}
+			out := outcome{prone: true, dead: make([]bool, len(schemes))}
+			for si, s := range schemes {
+				for r := 0; r < *repeats && !out.dead[si]; r++ {
+					sim, err := gfc.NewSimulation(topo, gfc.Options{
+						BufferSize:  300 * gfc.KB,
+						FlowControl: s.factory,
+					})
+					if err != nil {
+						return outcome{}, err
+					}
+					gen := gfc.NewTrafficGenerator(sim, tab,
+						gfc.EnterpriseWorkload(), gfc.EdgeRacks(topo),
+						*seed*1000+int64(i*(*repeats)+r))
+					if err := gen.Start(); err != nil {
+						return outcome{}, err
+					}
+					det := gfc.NewDeadlockDetector(sim)
+					det.Install()
+					sim.Run(20 * gfc.Millisecond)
+					if det.Deadlocked() != nil {
+						out.dead[si] = true
+					}
 				}
 			}
-			if dead {
+			return out, nil
+		}
+	}
+	results := runner.Run(context.Background(), jobs, *workers)
+	if err := runner.FirstErr(results); err != nil {
+		panic(err)
+	}
+
+	deadlocks := make([]int, len(schemes))
+	prone := 0
+	for i, res := range results {
+		if !res.Value.prone {
+			continue
+		}
+		prone++
+		for si, d := range res.Value.dead {
+			if d {
 				deadlocks[si]++
 			}
 		}

@@ -2,66 +2,51 @@
 // network simulator runs on: a virtual clock and a priority queue of timed
 // callbacks. Events that share a timestamp fire in the order they were
 // scheduled, which makes every run deterministic.
+//
+// The queue is an index-addressed binary heap over a pool of event records.
+// Records are recycled through a free list and addressed by stable ids, so
+// the steady state of a simulation — schedule, fire, schedule again —
+// allocates nothing. Handles returned by Schedule carry a generation
+// counter: recycling a record bumps its generation, which makes Cancel of a
+// stale handle (already fired or already cancelled) a safe no-op without any
+// queue scan.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/gfcsim/gfc/internal/units"
 )
 
-// Event is a scheduled callback. Handles returned by the scheduler can be
-// used to cancel an event before it fires.
+// Event is a handle to a scheduled callback, returned by Schedule and After
+// and accepted by Cancel. It is a small value, free to copy and to discard.
+// The zero Event is valid and refers to no scheduled callback.
 type Event struct {
-	at     units.Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 once removed
-	cancel bool
+	id  int32
+	gen uint32
+	at  units.Time
 }
 
-// At reports when the event is (or was) scheduled to fire.
-func (e *Event) At() units.Time { return e.at }
+// At reports when the event was scheduled to fire.
+func (e Event) At() units.Time { return e.at }
 
-// eventQueue implements heap.Interface ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// record is one pooled event. pos is its index in Engine.heap, -1 while the
+// record sits on the free list. gen starts at 1 so the zero Event handle
+// (gen 0) never matches a live record.
+type record struct {
+	at  units.Time
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use.
 type Engine struct {
-	queue   eventQueue
+	records []record
+	free    []int32 // recycled record ids
+	heap    []int32 // record ids ordered by (at, seq)
 	now     units.Time
 	seq     uint64
 	fired   uint64
@@ -77,76 +62,109 @@ func (e *Engine) Now() units.Time { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled (including cancelled ones
-// not yet popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Stopped reports whether a Stop is pending, i.e. Stop was called and no Run
+// has consumed it yet.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// alloc returns a record id off the free list, growing the pool when empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.records = append(e.records, record{gen: 1, pos: -1})
+	return int32(len(e.records) - 1)
+}
+
+// release recycles a record that has fired or been cancelled. The generation
+// bump invalidates every outstanding handle to it.
+func (e *Engine) release(id int32) {
+	r := &e.records[id]
+	r.gen++
+	r.fn = nil
+	r.pos = -1
+	e.free = append(e.free, id)
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: it is
 // always a logic error in a discrete-event model.
-func (e *Engine) Schedule(at units.Time, fn func()) *Event {
+func (e *Engine) Schedule(at units.Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("eventsim: nil event function")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	id := e.alloc()
+	r := &e.records[id]
+	r.at, r.seq, r.fn = at, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	r.pos = int32(len(e.heap))
+	e.heap = append(e.heap, id)
+	e.siftUp(r.pos)
+	return Event{id: id, gen: r.gen, at: at}
 }
 
 // After runs fn after delay d from the current time.
-func (e *Engine) After(d units.Time, fn func()) *Event {
+func (e *Engine) After(d units.Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("eventsim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel || ev.index < 0 {
-		if ev != nil {
-			ev.cancel = true
-		}
+// Cancel prevents ev from firing. Cancelling the zero Event, an
+// already-fired or an already-cancelled event is a no-op: the handle's
+// generation no longer matches the (recycled) record.
+func (e *Engine) Cancel(ev Event) {
+	if ev.gen == 0 || int(ev.id) >= len(e.records) {
 		return
 	}
-	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	r := &e.records[ev.id]
+	if r.gen != ev.gen || r.pos < 0 {
+		return
+	}
+	e.removeAt(r.pos)
+	e.release(ev.id)
 }
 
-// Stop makes Run return after the currently executing event completes.
+// Stop makes Run return after the currently executing event completes. When
+// no Run is active the flag persists — observable via Stopped — and the next
+// Run consumes it, executing nothing.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the next pending event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	id := e.heap[0]
+	e.removeAt(0)
+	r := &e.records[id]
+	fn := r.fn
+	e.now = r.at
+	e.fired++
+	// Release before running so a Cancel of this event from inside its
+	// own callback is already a stale-generation no-op.
+	e.release(id)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains, the clock passes until, or
 // Stop is called. It returns the time of the last executed event (or the
 // unchanged clock when nothing ran). Events scheduled at exactly until still
-// execute.
+// execute. The stop flag is cleared when Run returns, so a stopped engine
+// observably resumes on the next Run.
 func (e *Engine) Run(until units.Time) units.Time {
-	e.stopped = false
-	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
+	defer func() { e.stopped = false }()
+	for !e.stopped && len(e.heap) > 0 {
 		// Peek: do not advance past the horizon.
-		if e.queue[0].at > until {
+		if e.records[e.heap[0]].at > until {
 			break
 		}
 		e.Step()
@@ -156,3 +174,73 @@ func (e *Engine) Run(until units.Time) units.Time {
 
 // RunAll executes events until the queue is empty or Stop is called.
 func (e *Engine) RunAll() units.Time { return e.Run(units.Never) }
+
+// less orders record ids by (time, sequence).
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.records[a], &e.records[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// siftUp restores heap order from position i toward the root.
+func (e *Engine) siftUp(i int32) {
+	h := e.heap
+	id := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(id, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.records[h[i]].pos = i
+		i = parent
+	}
+	h[i] = id
+	e.records[id].pos = i
+}
+
+// siftDown restores heap order from position i toward the leaves and reports
+// whether the element moved.
+func (e *Engine) siftDown(i int32) bool {
+	h := e.heap
+	n := int32(len(h))
+	id := h[i]
+	start := i
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && e.less(h[c+1], h[c]) {
+			c++
+		}
+		if !e.less(h[c], id) {
+			break
+		}
+		h[i] = h[c]
+		e.records[h[i]].pos = i
+		i = c
+	}
+	h[i] = id
+	e.records[id].pos = i
+	return i != start
+}
+
+// removeAt deletes the element at heap position i, preserving heap order.
+func (e *Engine) removeAt(i int32) {
+	h := e.heap
+	n := int32(len(h)) - 1
+	e.records[h[i]].pos = -1
+	if i == n {
+		e.heap = h[:n]
+		return
+	}
+	h[i] = h[n]
+	e.records[h[i]].pos = i
+	e.heap = h[:n]
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
+}

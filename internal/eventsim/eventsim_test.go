@@ -99,15 +99,15 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	// Double-cancel and nil-cancel are safe.
+	// Double-cancel and zero-handle cancel are safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(units.Time(i), func() { got = append(got, i) })
@@ -225,7 +225,7 @@ func TestRandomCancel(t *testing.T) {
 		e := New()
 		const n = 40
 		ran := make([]bool, n)
-		evs := make([]*Event, n)
+		evs := make([]Event, n)
 		for i := 0; i < n; i++ {
 			i := i
 			evs[i] = e.Schedule(units.Time(rng.Int63n(100)), func() { ran[i] = true })
@@ -250,10 +250,120 @@ func TestRandomCancel(t *testing.T) {
 	}
 }
 
+// Stop from inside an event must halt the run after that event, be
+// observable via Stopped until the next Run, and be consumed by it.
+func TestStopInsideEvent(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 6; i++ {
+		e.Schedule(units.Time(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 2 {
+		t.Fatalf("count = %d after in-event Stop, want 2", count)
+	}
+	if e.Stopped() {
+		t.Fatal("Run returned without clearing the stop flag")
+	}
+	e.Run(100)
+	if count != 6 {
+		t.Fatalf("count = %d after resume, want 6", count)
+	}
+}
+
+// Stop before Run persists (Stopped reports it), makes that Run execute
+// nothing, and is consumed so the following Run proceeds.
+func TestStopBeforeRun(t *testing.T) {
+	e := New()
+	ran := 0
+	e.Schedule(1, func() { ran++ })
+	e.Stop()
+	if !e.Stopped() {
+		t.Fatal("Stopped() false right after Stop")
+	}
+	e.RunAll()
+	if ran != 0 {
+		t.Fatal("stopped Run executed an event")
+	}
+	if e.Stopped() {
+		t.Fatal("Run did not consume the stop flag")
+	}
+	e.RunAll()
+	if ran != 1 {
+		t.Fatal("engine did not resume after consuming Stop")
+	}
+}
+
+// Cancelling an event that already fired must be a no-op even after its
+// pooled record has been recycled for a newer event: the stale handle's
+// generation no longer matches, so the newer event still fires.
+func TestCancelFiredEvent(t *testing.T) {
+	e := New()
+	firstRan := false
+	first := e.Schedule(1, func() { firstRan = true })
+	e.RunAll()
+	if !firstRan {
+		t.Fatal("first event did not run")
+	}
+	secondRan := false
+	e.Schedule(2, func() { secondRan = true }) // recycles first's record
+	e.Cancel(first)                            // stale handle: must not touch the recycled record
+	e.Cancel(first)
+	e.RunAll()
+	if !secondRan {
+		t.Fatal("cancelling a fired event's stale handle killed a live event")
+	}
+}
+
+// Cancelling an event from inside its own callback is a no-op.
+func TestCancelSelfInsideCallback(t *testing.T) {
+	e := New()
+	var self Event
+	after := false
+	self = e.Schedule(1, func() {
+		e.Cancel(self)
+		e.Schedule(2, func() { after = true })
+	})
+	e.RunAll()
+	if !after {
+		t.Fatal("self-cancel corrupted the queue")
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	e := New()
+	fn := func() {}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Schedule(e.Now()+units.Time(i%100), func() {})
+		e.Schedule(e.Now()+units.Time(i%100), fn)
 		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule+cancel round trip —
+// the rate-limiter and kick-timer pattern of netsim. The pooled records must
+// make this allocation-free in steady state.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := New()
+	fn := func() {}
+	// Keep a standing population so cancellation exercises interior heap
+	// removals, not just the root.
+	var standing [64]Event
+	for i := range standing {
+		standing[i] = e.Schedule(units.Time(i+1000000), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(units.Time(i%1000), fn)
+		e.Cancel(ev)
+		j := i % len(standing)
+		e.Cancel(standing[j])
+		standing[j] = e.Schedule(units.Time(i+2000000), fn)
 	}
 }

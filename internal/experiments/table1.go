@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/gfcsim/gfc/internal/cbd"
 	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/runner"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -28,6 +30,11 @@ type SweepConfig struct {
 	// Budget-limited sweeps use 2–4 to compensate for running far fewer
 	// repeats than the paper's 100 per topology.
 	FlowsPerHost int
+	// Workers is the number of scenarios simulated concurrently.
+	// 0 means runtime.GOMAXPROCS(0). Every scenario is share-nothing and
+	// seeded from its index, so the aggregate result is bit-identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultSweep returns a CI-sized sweep for arity k: the paper's failure
@@ -142,23 +149,54 @@ func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepCo
 	return res, nil
 }
 
+// scenarioOutcome is one scenario's worth of sweep data: the per-repeat
+// results in repeat order, so the aggregation fold reproduces the serial
+// loop exactly. A nil outcome marks a scenario that was not CBD-prone.
+type scenarioOutcome struct {
+	repeats []*ScenarioResult
+}
+
 // RunSweep executes the Table 1 experiment for one scheme at one scale.
 // Scenario generation is shared across schemes via the seed, so — like the
 // paper observed — the same topologies deadlock under PFC and CBFC.
+//
+// Scenarios run concurrently on cfg.Workers goroutines; each one is an
+// independent Network seeded purely from the scenario index, and outcomes
+// are folded in scenario order, so the result is bit-identical for every
+// worker count (including the serial Workers == 1 case).
 func RunSweep(fc FC, cfg SweepConfig) (*SweepResult, error) {
-	out := &SweepResult{FC: fc, K: cfg.K}
+	jobs := make([]runner.Job[*scenarioOutcome], cfg.Networks)
 	for i := 0; i < cfg.Networks; i++ {
-		topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.Seed+int64(i))
-		if !prone {
-			continue
+		i := i
+		jobs[i] = func(context.Context) (*scenarioOutcome, error) {
+			topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.Seed+int64(i))
+			if !prone {
+				return nil, nil
+			}
+			sc := &scenarioOutcome{repeats: make([]*ScenarioResult, cfg.Repeats)}
+			for r := 0; r < cfg.Repeats; r++ {
+				res, err := RunScenario(topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
+				if err != nil {
+					return nil, err
+				}
+				sc.repeats[r] = res
+			}
+			return sc, nil
+		}
+	}
+	results := runner.Run(context.Background(), jobs, cfg.Workers)
+	if err := runner.FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := &SweepResult{FC: fc, K: cfg.K}
+	for _, jr := range results {
+		sc := jr.Value
+		if sc == nil {
+			continue // not CBD-prone: never simulated
 		}
 		out.CBDProne++
 		dead := false
-		for r := 0; r < cfg.Repeats; r++ {
-			res, err := RunScenario(topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range sc.repeats {
 			out.Drops += res.Drops
 			if res.Deadlocked {
 				dead = true

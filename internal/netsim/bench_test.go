@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// BenchmarkLinearForwarding drives a saturated 3-hop path for a fixed
+// simulated interval per iteration: the hot loop of refill → kick →
+// completeTx → arrive that every experiment spends its time in. ReportAllocs
+// pins the effect of the packet free-list and the pre-bound port callbacks.
+func BenchmarkLinearForwarding(b *testing.B) {
+	topo := topology.Linear(3, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	src, dst := topo.MustLookup("H1"), topo.MustLookup("H3")
+	path, err := tab.Path(src, dst, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := New(topo, baseConfig(gfcFactory()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := &Flow{ID: 1, Src: src, Dst: dst, Path: path}
+		if err := n.AddFlow(f, 0); err != nil {
+			b.Fatal(err)
+		}
+		n.Run(units.Millisecond)
+		if f.Delivered == 0 {
+			b.Fatal("no delivery")
+		}
+	}
+}
+
+// BenchmarkCongestedFabric exercises the 2:1 congestion regime where flow
+// control wakes transmitters via scheduled kicks — the path that used to
+// allocate a fresh closure per retry.
+func BenchmarkCongestedFabric(b *testing.B) {
+	topo := topology.TwoToOne(topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	type ep struct{ src, dst topology.NodeID }
+	eps := []ep{
+		{topo.MustLookup("H1"), topo.MustLookup("H3")},
+		{topo.MustLookup("H2"), topo.MustLookup("H3")},
+	}
+	paths := make([][]routing.Hop, len(eps))
+	for i, e := range eps {
+		p, err := tab.Path(e.src, e.dst, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := New(topo, baseConfig(gfcFactory()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range eps {
+			f := &Flow{ID: j + 1, Src: e.src, Dst: e.dst, Path: paths[j]}
+			if err := n.AddFlow(f, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n.Run(units.Millisecond)
+	}
+}

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/topology"
+)
+
+// This file is the wire half of the simulator: transmission completion at
+// the sending port and admission at the receiving node. Both run on
+// pre-bound callbacks — the in-flight transmission lives in the port's
+// txPkt/txPrio/txDur slots (a port serialises transmissions via busy), and
+// packets propagating on a channel sit in the receiving port's FIFO, popped
+// in order because a link's arrivals cannot overtake one another.
+
+// completeTx finishes the port's in-flight transmission: notifies flow
+// control, releases ingress accounting at the transmitting switch,
+// propagates the packet and restarts the transmitter.
+func (n *Network) completeTx(p *port) {
+	pkt, prio, dur := p.txPkt, p.txPrio, p.txDur
+	p.txPkt = nil
+	now := n.eng.Now()
+	p.busy = false
+	p.senders[prio].OnSent(pkt.Size, dur)
+	p.txBytes[prio] += pkt.Size
+	n.cfg.Trace.transmit(now, p.owner.id, p.local, pkt)
+
+	switch p.owner.kind {
+	case topology.Switch:
+		// The packet leaves this switch: release the ingress buffer
+		// of the port it arrived on.
+		ing := p.owner.ports[pkt.arrivalPort]
+		ing.occupancy[prio] -= pkt.Size
+		ing.departed[prio] += pkt.Size
+		n.cfg.Trace.queue(now, p.owner.id, ing.local, prio, ing.occupancy[prio])
+		if r := ing.receivers[prio]; r != nil {
+			r.OnDeparture(pkt.Size, ing.occupancy[prio])
+		}
+	case topology.Host:
+		pkt.Flow.sent += pkt.Size
+		pkt.sentAt = now
+		n.refill(p.owner)
+	}
+
+	rp := n.nodes[p.peer].ports[p.peerPort]
+	rp.pushInFlight(pkt)
+	n.eng.After(p.link.Delay, rp.arriveFn)
+	n.kick(p)
+}
+
+// arrive admits a fully received packet at nd via local port idx.
+func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
+	now := n.eng.Now()
+	n.cfg.Trace.arrival(now, nd.id, pkt)
+
+	if nd.kind == topology.Host {
+		f := pkt.Flow
+		f.Delivered += pkt.Size
+		n.cfg.Trace.deliver(now, f, pkt)
+		if f.OnPacket != nil {
+			f.OnPacket(f, pkt)
+		}
+		if f.Done() && f.Finished == 0 {
+			f.Finished = now
+			n.cfg.Trace.flowDone(now, f)
+			if f.OnDone != nil {
+				f.OnDone(f)
+			}
+		}
+		recyclePacket(pkt)
+		return
+	}
+
+	if n.cfg.Escalation != nil {
+		np := n.cfg.Escalation(pkt, nd.id)
+		if np < pkt.Priority || np >= n.cfg.Priorities {
+			panic(fmt.Sprintf("netsim: escalation moved priority %d -> %d (classes: %d)",
+				pkt.Priority, np, n.cfg.Priorities))
+		}
+		pkt.Priority = np
+	}
+	prio := pkt.Priority
+	ing := nd.ports[idx]
+	occ := ing.occupancy[prio] + pkt.Size
+	if occ > ing.buffer {
+		// A lossless fabric must never get here; record and drop.
+		n.drops++
+		n.cfg.Trace.drop(now, nd.id, pkt)
+		recyclePacket(pkt)
+		return
+	}
+	ing.occupancy[prio] = occ
+	n.cfg.Trace.queue(now, nd.id, idx, prio, occ)
+	if r := ing.receivers[prio]; r != nil {
+		r.OnArrival(pkt.Size, occ)
+	}
+	pkt.arrivalPort = idx
+	pkt.hop++
+	hop := pkt.Path[pkt.hop]
+	if hop.Node != nd.id {
+		panic(fmt.Sprintf("netsim: packet path desync: at node %d, path says %d",
+			nd.id, hop.Node))
+	}
+	out := nd.ports[hop.Port]
+	switch n.cfg.Scheduling {
+	case SchedInputQueued:
+		// Input-queued switching: the packet waits in the ingress
+		// FIFO; congestion shows as ingress occupancy.
+		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
+			pkt.ECN = true
+		}
+		ing.inq[prio] = append(ing.inq[prio], pkt)
+		if len(ing.inq[prio]) == 1 {
+			n.kick(out)
+		}
+		return
+	case SchedBlocking:
+		// The packet joins the ingress FIFO; the forwarding core
+		// moves it to a TX ring when its turn comes.
+		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
+			pkt.ECN = true
+		}
+		ing.inq[prio] = append(ing.inq[prio], pkt)
+		n.forward(nd, prio)
+		return
+	}
+	if n.cfg.ECNThreshold > 0 && out.queuedBytes[prio] >= n.cfg.ECNThreshold {
+		pkt.ECN = true
+	}
+	out.enqueue(pkt)
+	n.kick(out)
+}

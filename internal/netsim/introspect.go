@@ -186,6 +186,7 @@ func (n *Network) DropIngressHead(node topology.NodeID, portIdx, prio int) bool 
 	if r := ing.receivers[prio]; r != nil {
 		r.OnDeparture(pkt.Size, ing.occupancy[prio])
 	}
+	recyclePacket(pkt)
 	// The freed head may expose a packet for an idle egress.
 	if len(ing.inq[prio]) > 0 {
 		head := ing.inq[prio][0]

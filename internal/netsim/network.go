@@ -11,285 +11,10 @@ import (
 	"github.com/gfcsim/gfc/internal/units"
 )
 
-// hostBuffer is the ingress allocation used for host-attached receive sides:
-// hosts consume packets immediately, so the buffer only needs to be
-// nominally unoverflowable.
-const hostBuffer = 1 << 40 * units.Byte
-
-// Config parameterises a simulation.
-type Config struct {
-	// MTU is the maximum packet size; default 1500 B (Ethernet).
-	MTU units.Size
-	// BufferSize is the per-ingress-port, per-priority buffer of every
-	// switch. Required.
-	BufferSize units.Size
-	// Priorities is the number of priority classes; default 1 (the
-	// paper's experiments use a single lossless class).
-	Priorities int
-	// ProcDelay is the feedback-message processing time t_r; default
-	// 3 µs (§5.4).
-	ProcDelay units.Time
-	// Tau overrides the per-channel worst-case feedback latency used to
-	// derive flow-control parameters. Zero derives it per link from
-	// equation (6). The testbed experiments set 90 µs to reflect
-	// software switching.
-	Tau units.Time
-	// FlowControl builds the controller for every channel direction and
-	// priority. Required.
-	FlowControl flowcontrol.Factory
-	// ECNThreshold enables DCQCN-style marking: packets enqueued to an
-	// egress queue holding at least this many bytes are ECN-marked.
-	// Zero disables marking.
-	ECNThreshold units.Size
-	// HostQueueDepth is how many packets a host NIC keeps queued;
-	// default 1 (release-gated, so flow pacers are precise).
-	HostQueueDepth int
-	// Scheduling is the switching discipline; default SchedBlocking,
-	// matching the paper's DPDK testbed switch.
-	Scheduling Scheduling
-	// TxRing is the per-egress TX ring capacity in packets for
-	// SchedBlocking; default 128 (DPDK rings are a few hundred
-	// descriptors).
-	TxRing int
-	// FeedbackJitter adds a uniform random [0, FeedbackJitter) component
-	// to every feedback message's processing delay, seeded by
-	// JitterSeed. Software switches (the paper's testbed runs DPDK
-	// forwarding on general-purpose cores) have exactly this kind of
-	// latency variance, and it is what lets pause cascades break the
-	// perfect symmetry a deterministic simulation would otherwise
-	// preserve. Zero disables jitter. When enabled, Tau must budget for
-	// the added worst-case latency or PFC headroom sizing will be too
-	// small to stay lossless.
-	FeedbackJitter units.Time
-	// JitterSeed seeds the jitter source; runs are reproducible per
-	// seed.
-	JitterSeed int64
-	// PriorityWeights assigns weighted-round-robin shares to the
-	// priority classes at every egress (§7: "the output queue scheduling
-	// should be enabled to assign minimal output bandwidth to each
-	// priority", preventing starvation that would exhaust a low class's
-	// buffers). Length must equal Priorities; nil means equal weights.
-	PriorityWeights []int
-	// Escalation, when non-nil, may raise a packet's priority class at
-	// switch admission — the hop-by-hop priority-increase family of
-	// deadlock avoidance schemes the paper's related work surveys
-	// (virtual channels, dateline routing, Tagger). It is called before
-	// ingress accounting; returning the current priority is a no-op,
-	// and lowering or exceeding Priorities-1 panics (a scheme bug).
-	Escalation func(pkt *Packet, at topology.NodeID) int
-	// Trace receives observation callbacks; may be nil.
-	Trace *Trace
-}
-
-func (c *Config) fillDefaults() {
-	if c.MTU == 0 {
-		c.MTU = 1500 * units.Byte
-	}
-	if c.Priorities == 0 {
-		c.Priorities = 1
-	}
-	if c.ProcDelay == 0 {
-		c.ProcDelay = 3 * units.Microsecond
-	}
-	if c.HostQueueDepth == 0 {
-		c.HostQueueDepth = 1
-	}
-	if c.TxRing == 0 {
-		c.TxRing = 128
-	}
-}
-
-func (c *Config) validate() error {
-	if c.BufferSize <= 0 {
-		return fmt.Errorf("netsim: BufferSize must be positive")
-	}
-	if c.FlowControl == nil {
-		return fmt.Errorf("netsim: FlowControl factory is required")
-	}
-	if c.Priorities < 1 || c.Priorities > 8 {
-		return fmt.Errorf("netsim: Priorities %d outside [1,8]", c.Priorities)
-	}
-	if c.PriorityWeights != nil {
-		if len(c.PriorityWeights) != c.Priorities {
-			return fmt.Errorf("netsim: %d priority weights for %d classes",
-				len(c.PriorityWeights), c.Priorities)
-		}
-		for i, w := range c.PriorityWeights {
-			if w < 1 {
-				return fmt.Errorf("netsim: priority %d weight %d must be >= 1", i, w)
-			}
-		}
-	}
-	return nil
-}
-
-// Scheduling selects how an egress port serves packets from different input
-// ports.
-type Scheduling uint8
-
-// Switching disciplines.
-const (
-	// SchedInputQueued models the paper's testbed switch (§6.1.1): a
-	// FIFO ingress ring per input port, served round-robin by the
-	// forwarding path, with head-of-line blocking — a packet whose
-	// egress cannot transmit blocks everything behind it on the same
-	// input and priority. This is the discipline under which PFC/CBFC
-	// deadlock exactly as the paper reports, and it is the default.
-	SchedInputQueued Scheduling = iota
-	// SchedFIFO is a simple output-queued switch: each egress transmits
-	// in arrival order across all inputs. Under sustained
-	// oversubscription an input's service share equals its arrival
-	// share.
-	SchedFIFO
-	// SchedVOQ keeps a virtual output queue per input port at each
-	// egress and serves them round-robin — per-input fairness with no
-	// head-of-line blocking, as in ideal crossbar fabrics.
-	SchedVOQ
-	// SchedBlocking models the paper's DPDK software switch faithfully:
-	// a forwarding core serves the ingress FIFOs round-robin and moves
-	// packets into bounded per-egress TX rings. When the selected head's
-	// TX ring is full the whole forwarding path stalls until that ring
-	// has room — which is what lets a PFC-paused port freeze an entire
-	// switch and cascade into the deadlocks of Figures 9/10, while
-	// GFC's always-positive drain keeps the stalls transient.
-	SchedBlocking
-)
-
-func (s Scheduling) String() string {
-	switch s {
-	case SchedInputQueued:
-		return "input-queued"
-	case SchedFIFO:
-		return "fifo"
-	case SchedVOQ:
-		return "voq"
-	case SchedBlocking:
-		return "blocking"
-	default:
-		return "scheduling(?)"
-	}
-}
-
-// voq is one virtual output queue: the packets a single input port has
-// pending on an egress. In FIFO mode only voqs[prio][0] is used and holds
-// the mixed arrival-order queue; per-input byte accounting is kept either
-// way for the deadlock detector's FedBy edges.
-type voq struct {
-	pkts  []*Packet
-	bytes units.Size
-}
-
-// port is one attachment point of a node: egress transmitter plus ingress
-// buffer accounting for the attached channel.
-type port struct {
-	owner    *node
-	local    int // port index on owner
-	link     *topology.Link
-	peer     topology.NodeID
-	peerPort int
-	capacity units.Rate
-
-	// Egress state.
-	sched       Scheduling
-	voqs        [][]voq        // [priority][arrival port] (FIFO mode: slot 0 only)
-	fedBytes    [][]units.Size // [priority][arrival port] backlog accounting
-	rrVoq       []int          // per priority, round-robin cursor over VOQs
-	queuedBytes []units.Size
-	queuedPkts  int
-	busy        bool
-	senders     []flowcontrol.Sender
-	rr          int
-	wrrCredit   []int // weighted-RR packet credits per priority (nil: equal)
-	kickAt      units.Time
-	txBytes     []units.Size // per priority, cumulative data serialised
-
-	// Ingress state.
-	occupancy []units.Size
-	departed  []units.Size // per priority, cumulative bytes released
-	receivers []flowcontrol.Receiver
-	buffer    units.Size
-	// inq is the per-priority ingress FIFO used by SchedInputQueued at
-	// switches: packets wait here until their egress can take them, with
-	// head-of-line blocking.
-	inq [][]*Packet
-}
-
-func (p *port) totalQueued() int { return p.queuedPkts }
-
-// arrivalKey is the per-input accounting slot of pkt at this node.
-func arrivalKey(pkt *Packet) int {
-	if pkt.arrivalPort < 0 {
-		return 0 // host injection
-	}
-	return pkt.arrivalPort
-}
-
-// enqueue appends pkt to the egress for its priority.
-func (p *port) enqueue(pkt *Packet) {
-	key := arrivalKey(pkt)
-	slot := key
-	if p.sched != SchedVOQ {
-		slot = 0 // FIFO / TX-ring order for every other discipline
-	}
-	v := &p.voqs[pkt.Priority][slot]
-	v.pkts = append(v.pkts, pkt)
-	v.bytes += pkt.Size
-	p.fedBytes[pkt.Priority][key] += pkt.Size
-	p.queuedBytes[pkt.Priority] += pkt.Size
-	p.queuedPkts++
-}
-
-// nextPacket returns (without removing) the next packet of the given
-// priority and its queue slot, or nil: the global head in FIFO mode, the
-// round-robin VOQ head in VOQ mode.
-func (p *port) nextPacket(prio int) (*Packet, int) {
-	vs := p.voqs[prio]
-	if p.sched != SchedVOQ {
-		if len(vs[0].pkts) > 0 {
-			return vs[0].pkts[0], 0
-		}
-		return nil, -1
-	}
-	for i := 0; i < len(vs); i++ {
-		k := (p.rrVoq[prio] + i) % len(vs)
-		if len(vs[k].pkts) > 0 {
-			return vs[k].pkts[0], k
-		}
-	}
-	return nil, -1
-}
-
-// dequeue removes the head of queue slot for prio and advances the cursor.
-func (p *port) dequeue(prio, slot int) *Packet {
-	v := &p.voqs[prio][slot]
-	pkt := v.pkts[0]
-	v.pkts = v.pkts[1:]
-	v.bytes -= pkt.Size
-	p.fedBytes[prio][arrivalKey(pkt)] -= pkt.Size
-	p.queuedBytes[prio] -= pkt.Size
-	p.queuedPkts--
-	p.rrVoq[prio] = (slot + 1) % len(p.voqs[prio])
-	return pkt
-}
-
-// node is a host or switch instance.
-type node struct {
-	id    topology.NodeID
-	kind  topology.Kind
-	ports []*port
-
-	// Host state.
-	flows    []*Flow
-	rrFlow   int
-	refillAt units.Time
-
-	// SchedBlocking forwarding state, per priority.
-	fwdCursor  []int
-	fwdBlocked []*port // egress whose full TX ring stalls forwarding
-	forwarding []bool  // re-entrancy guard
-}
-
-// Network is a runnable simulation instance.
+// Network is a runnable simulation instance. Each Network owns its own
+// event engine and shares no mutable state with any other, so independent
+// instances may run concurrently on different goroutines (the
+// internal/runner worker pool relies on exactly this).
 type Network struct {
 	cfg    Config
 	topo   *topology.Topology
@@ -353,6 +78,26 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		}
 		n.nodes[id] = nd
 	}
+	// Bind the per-node and per-port event callbacks once: the hot path
+	// (kick retries, transmission completions, link arrivals, host
+	// refills) then schedules these stored funcs instead of allocating a
+	// closure per event.
+	for _, nd := range n.nodes {
+		nd := nd
+		nd.refillFn = func() {
+			nd.refillAt = units.Never
+			n.refill(nd)
+		}
+		for _, p := range nd.ports {
+			p := p
+			p.kickFn = func() {
+				p.kickAt = units.Never
+				n.kick(p)
+			}
+			p.txDoneFn = func() { n.completeTx(p) }
+			p.arriveFn = func() { n.arrive(p.owner, p.local, p.popInFlight()) }
+		}
+	}
 	// Wire controllers: for channel u→v, the Sender lives on u's port
 	// and the Receiver on v's port.
 	for _, nd := range n.nodes {
@@ -413,6 +158,10 @@ type fcEnv struct {
 func (e *fcEnv) Now() units.Time               { return e.n.eng.Now() }
 func (e *fcEnv) After(d units.Time, fn func()) { e.n.eng.After(d, fn) }
 
+// Emit schedules delivery of one feedback message. The closure here is
+// deliberate: messages carry a payload and, under jitter, non-monotonic
+// delays, so a per-port FIFO of pre-bound callbacks (the packet-path trick)
+// would reorder them.
 func (e *fcEnv) Emit(m flowcontrol.Message) {
 	n := e.n
 	wire := m.Wire()
@@ -504,393 +253,6 @@ func (n *Network) StopFlow(f *Flow, at units.Time) {
 			f.Finished = n.eng.Now()
 		}
 	})
-}
-
-// refill keeps the host NIC queue at the configured depth, drawing packets
-// from active flows round-robin and honouring per-flow pacers.
-func (n *Network) refill(h *node) {
-	if h.kind != topology.Host || len(h.ports) == 0 {
-		return
-	}
-	p := h.ports[0]
-	now := n.eng.Now()
-	for p.totalQueued() < n.cfg.HostQueueDepth {
-		f, wake := n.nextFlow(h, now)
-		if f == nil {
-			if wake != units.Never && wake > now {
-				n.scheduleRefill(h, wake)
-			}
-			return
-		}
-		size := f.remaining(n.cfg.MTU)
-		if size > n.cfg.MTU {
-			size = n.cfg.MTU
-		}
-		if f.Pacer != nil {
-			f.Pacer.OnRelease(now, size)
-		}
-		f.released += size
-		pkt := &Packet{
-			Flow: f, Seq: f.seq, Size: size, Priority: f.Priority,
-			Path: f.Path, arrivalPort: -1,
-		}
-		f.seq++
-		if f.Size > 0 && f.released >= f.Size {
-			pkt.Last = true
-			f.active = false
-		}
-		p.enqueue(pkt)
-	}
-	n.kick(p)
-}
-
-// nextFlow picks the next eligible flow on h (round-robin); when none is
-// eligible it returns the earliest pacer wake time.
-func (n *Network) nextFlow(h *node, now units.Time) (*Flow, units.Time) {
-	wake := units.Never
-	for i := 0; i < len(h.flows); i++ {
-		f := h.flows[(h.rrFlow+i)%len(h.flows)]
-		if !f.active || f.remaining(n.cfg.MTU) == 0 {
-			continue
-		}
-		if f.Pacer != nil {
-			size := f.remaining(n.cfg.MTU)
-			if size > n.cfg.MTU {
-				size = n.cfg.MTU
-			}
-			if na := f.Pacer.NextAllowed(now, size); na > now {
-				if na < wake {
-					wake = na
-				}
-				continue
-			}
-		}
-		h.rrFlow = (h.rrFlow + i + 1) % len(h.flows)
-		return f, 0
-	}
-	return nil, wake
-}
-
-func (n *Network) scheduleRefill(h *node, at units.Time) {
-	if h.refillAt <= at && h.refillAt > n.eng.Now() {
-		return // an earlier (or same) wake is already pending
-	}
-	h.refillAt = at
-	n.eng.Schedule(at, func() {
-		if h.refillAt == at {
-			h.refillAt = units.Never
-		}
-		n.refill(h)
-	})
-}
-
-// kick tries to start a transmission on p. When flow control blocks every
-// queued priority, it schedules a retry at the earliest wake time (feedback
-// events also re-kick).
-func (n *Network) kick(p *port) {
-	if p.busy || p.link.Failed {
-		return
-	}
-	now := n.eng.Now()
-	minWake := units.Never
-	inputQueued := p.sched == SchedInputQueued && p.owner.kind == topology.Switch
-	k := len(p.voqs)
-	for _, prio := range n.prioOrder(p) {
-		var pkt *Packet
-		var freed *port // input whose FIFO head we consumed
-		if inputQueued {
-			head, in, wake := n.nextFromInputs(p, prio)
-			if head == nil {
-				if wake < minWake {
-					minWake = wake
-				}
-				continue
-			}
-			in.inq[prio] = in.inq[prio][1:]
-			p.rrVoq[prio] = (in.local + 1) % len(p.owner.ports)
-			pkt, freed = head, in
-		} else {
-			head, slot := p.nextPacket(prio)
-			if head == nil {
-				continue
-			}
-			ok, wake := p.senders[prio].TrySend(head.Size)
-			if !ok {
-				if wake < minWake {
-					minWake = wake
-				}
-				continue
-			}
-			pkt = p.dequeue(prio, slot)
-			if p.sched == SchedBlocking && p.owner.kind == topology.Switch {
-				// TX-ring space freed: resume a stalled
-				// forwarding core (no-op when not stalled or
-				// re-entered from forward itself).
-				defer n.forward(p.owner, prio)
-			}
-		}
-		p.rr = (prio + 1) % k
-		if p.wrrCredit != nil && p.wrrCredit[prio] > 0 {
-			p.wrrCredit[prio]--
-		}
-		p.busy = true
-		dur := units.TransmissionTime(pkt.Size, p.capacity)
-		n.eng.After(dur, func() { n.completeTx(p, pkt, prio, dur) })
-		if freed != nil {
-			// The freed input's new head may target an idle egress.
-			if q := freed.inq[prio]; len(q) > 0 {
-				n.kick(p.owner.ports[q[0].Path[q[0].hop].Port])
-			}
-		}
-		return
-	}
-	if minWake != units.Never && minWake > now {
-		n.scheduleKick(p, minWake)
-	}
-}
-
-// forward runs the switch's forwarding core for one priority under
-// SchedBlocking: serve ingress FIFO heads round-robin, moving each into its
-// egress TX ring. When the selected head's ring is full, the whole
-// forwarding path for this priority stalls until that ring drains — the
-// behaviour of a software switch retrying a full TX ring, and the coupling
-// that lets one paused port freeze a switch.
-func (n *Network) forward(nd *node, prio int) {
-	if nd.forwarding[prio] {
-		return
-	}
-	nd.forwarding[prio] = true
-	defer func() { nd.forwarding[prio] = false }()
-	for {
-		if b := nd.fwdBlocked[prio]; b != nil {
-			// Still stalled: re-check the blocking ring.
-			if len(b.voqs[prio][0].pkts) >= n.cfg.TxRing {
-				return
-			}
-			nd.fwdBlocked[prio] = nil
-		}
-		var in *port
-		for j := 0; j < len(nd.ports); j++ {
-			c := nd.ports[(nd.fwdCursor[prio]+j)%len(nd.ports)]
-			if len(c.inq[prio]) > 0 {
-				in = c
-				break
-			}
-		}
-		if in == nil {
-			return
-		}
-		head := in.inq[prio][0]
-		out := nd.ports[head.Path[head.hop].Port]
-		if len(out.voqs[prio][0].pkts) >= n.cfg.TxRing {
-			nd.fwdBlocked[prio] = out // stall switch-wide
-			return
-		}
-		in.inq[prio] = in.inq[prio][1:]
-		nd.fwdCursor[prio] = (in.local + 1) % len(nd.ports)
-		out.enqueue(head)
-		n.kick(out)
-	}
-}
-
-// prioOrder returns the order in which p's priorities are offered the
-// wire. Without configured weights it is plain round-robin from the cursor.
-// With weights it is packet-based weighted round-robin with a
-// work-conserving second phase: classes holding WRR credit are offered
-// first (cheapest classes refilled when all credits drain), then the rest,
-// so a weighted class can never be starved but spare capacity is never
-// wasted.
-func (n *Network) prioOrder(p *port) []int {
-	k := len(p.voqs)
-	if k == 1 {
-		return oneZero
-	}
-	order := make([]int, 0, k)
-	if n.cfg.PriorityWeights == nil {
-		for i := 0; i < k; i++ {
-			order = append(order, (p.rr+i)%k)
-		}
-		return order
-	}
-	if p.wrrCredit == nil {
-		p.wrrCredit = make([]int, k)
-	}
-	total := 0
-	for _, c := range p.wrrCredit {
-		total += c
-	}
-	if total == 0 {
-		copy(p.wrrCredit, n.cfg.PriorityWeights)
-	}
-	for i := 0; i < k; i++ {
-		if pr := (p.rr + i) % k; p.wrrCredit[pr] > 0 {
-			order = append(order, pr)
-		}
-	}
-	for i := 0; i < k; i++ {
-		if pr := (p.rr + i) % k; p.wrrCredit[pr] == 0 {
-			order = append(order, pr)
-		}
-	}
-	return order
-}
-
-// oneZero avoids allocating for the ubiquitous single-priority case.
-var oneZero = []int{0}
-
-// nextFromInputs scans the owner's ingress FIFOs round-robin for a head
-// packet bound for egress p at the given priority that flow control permits.
-// It returns the packet and its input port, or (nil, nil, wake) where wake
-// is the earliest retry time (units.Never to wait for feedback).
-func (n *Network) nextFromInputs(p *port, prio int) (*Packet, *port, units.Time) {
-	ports := p.owner.ports
-	minWake := units.Never
-	for j := 0; j < len(ports); j++ {
-		in := ports[(p.rrVoq[prio]+j)%len(ports)]
-		q := in.inq[prio]
-		if len(q) == 0 {
-			continue
-		}
-		head := q[0]
-		if head.Path[head.hop].Port != p.local {
-			continue // head-of-line: only the head is eligible
-		}
-		ok, wake := p.senders[prio].TrySend(head.Size)
-		if !ok {
-			// Flow control gates the whole egress for this
-			// priority; no other input can do better.
-			return nil, nil, wake
-		}
-		return head, in, 0
-	}
-	return nil, nil, minWake
-}
-
-func (n *Network) scheduleKick(p *port, at units.Time) {
-	if p.kickAt <= at && p.kickAt > n.eng.Now() {
-		return
-	}
-	p.kickAt = at
-	n.eng.Schedule(at, func() {
-		if p.kickAt == at {
-			p.kickAt = units.Never
-		}
-		n.kick(p)
-	})
-}
-
-// completeTx finishes a transmission: notifies flow control, releases
-// ingress accounting at the transmitting switch, propagates the packet and
-// restarts the transmitter.
-func (n *Network) completeTx(p *port, pkt *Packet, prio int, dur units.Time) {
-	now := n.eng.Now()
-	p.busy = false
-	p.senders[prio].OnSent(pkt.Size, dur)
-	p.txBytes[prio] += pkt.Size
-	n.cfg.Trace.transmit(now, p.owner.id, p.local, pkt)
-
-	switch p.owner.kind {
-	case topology.Switch:
-		// The packet leaves this switch: release the ingress buffer
-		// of the port it arrived on.
-		ing := p.owner.ports[pkt.arrivalPort]
-		ing.occupancy[prio] -= pkt.Size
-		ing.departed[prio] += pkt.Size
-		n.cfg.Trace.queue(now, p.owner.id, ing.local, prio, ing.occupancy[prio])
-		if r := ing.receivers[prio]; r != nil {
-			r.OnDeparture(pkt.Size, ing.occupancy[prio])
-		}
-	case topology.Host:
-		pkt.Flow.sent += pkt.Size
-		pkt.sentAt = now
-		n.refill(p.owner)
-	}
-
-	peer := n.nodes[p.peer]
-	peerPort := p.peerPort
-	n.eng.After(p.link.Delay, func() { n.arrive(peer, peerPort, pkt) })
-	n.kick(p)
-}
-
-// arrive admits a fully received packet at nd via local port idx.
-func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
-	now := n.eng.Now()
-	n.cfg.Trace.arrival(now, nd.id, pkt)
-
-	if nd.kind == topology.Host {
-		f := pkt.Flow
-		f.Delivered += pkt.Size
-		n.cfg.Trace.deliver(now, f, pkt)
-		if f.OnPacket != nil {
-			f.OnPacket(f, pkt)
-		}
-		if f.Done() && f.Finished == 0 {
-			f.Finished = now
-			n.cfg.Trace.flowDone(now, f)
-			if f.OnDone != nil {
-				f.OnDone(f)
-			}
-		}
-		return
-	}
-
-	if n.cfg.Escalation != nil {
-		np := n.cfg.Escalation(pkt, nd.id)
-		if np < pkt.Priority || np >= n.cfg.Priorities {
-			panic(fmt.Sprintf("netsim: escalation moved priority %d -> %d (classes: %d)",
-				pkt.Priority, np, n.cfg.Priorities))
-		}
-		pkt.Priority = np
-	}
-	prio := pkt.Priority
-	ing := nd.ports[idx]
-	occ := ing.occupancy[prio] + pkt.Size
-	if occ > ing.buffer {
-		// A lossless fabric must never get here; record and drop.
-		n.drops++
-		n.cfg.Trace.drop(now, nd.id, pkt)
-		return
-	}
-	ing.occupancy[prio] = occ
-	n.cfg.Trace.queue(now, nd.id, idx, prio, occ)
-	if r := ing.receivers[prio]; r != nil {
-		r.OnArrival(pkt.Size, occ)
-	}
-	pkt.arrivalPort = idx
-	pkt.hop++
-	hop := pkt.Path[pkt.hop]
-	if hop.Node != nd.id {
-		panic(fmt.Sprintf("netsim: packet path desync: at node %d, path says %d",
-			nd.id, hop.Node))
-	}
-	out := nd.ports[hop.Port]
-	switch n.cfg.Scheduling {
-	case SchedInputQueued:
-		// Input-queued switching: the packet waits in the ingress
-		// FIFO; congestion shows as ingress occupancy.
-		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
-			pkt.ECN = true
-		}
-		ing.inq[prio] = append(ing.inq[prio], pkt)
-		if len(ing.inq[prio]) == 1 {
-			n.kick(out)
-		}
-		return
-	case SchedBlocking:
-		// The packet joins the ingress FIFO; the forwarding core
-		// moves it to a TX ring when its turn comes.
-		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
-			pkt.ECN = true
-		}
-		ing.inq[prio] = append(ing.inq[prio], pkt)
-		n.forward(nd, prio)
-		return
-	}
-	if n.cfg.ECNThreshold > 0 && out.queuedBytes[prio] >= n.cfg.ECNThreshold {
-		pkt.ECN = true
-	}
-	out.enqueue(pkt)
-	n.kick(out)
 }
 
 // IngressQueue reports the ingress occupancy of the given node/port/priority

@@ -12,6 +12,8 @@
 package netsim
 
 import (
+	"sync"
+
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -41,6 +43,26 @@ type Packet struct {
 	Last bool
 
 	sentAt units.Time // when the source host finished serialising it
+}
+
+// packetPool is the free list packets are drawn from at host injection and
+// returned to at delivery or drop. An enterprise-workload sweep pushes
+// millions of packets through each Network; recycling them keeps the hot
+// path allocation-free in steady state. The pool is shared across Networks
+// (and worker goroutines), which is safe because a packet is fully zeroed
+// before reuse and no simulation decision ever depends on a packet's
+// identity — so determinism is unaffected.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// newPacket returns a zeroed packet from the free list.
+func newPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// recyclePacket returns a packet whose journey ended (delivered or dropped)
+// to the free list. Callers must not hold references past this point; trace
+// hooks have already fired.
+func recyclePacket(pkt *Packet) {
+	*pkt = Packet{}
+	packetPool.Put(pkt)
 }
 
 // CurrentHop returns the hop the packet is about to transmit over.

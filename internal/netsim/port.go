@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"github.com/gfcsim/gfc/internal/eventsim"
+	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// voq is one virtual output queue: the packets a single input port has
+// pending on an egress. In FIFO mode only voqs[prio][0] is used and holds
+// the mixed arrival-order queue; per-input byte accounting is kept either
+// way for the deadlock detector's FedBy edges.
+type voq struct {
+	pkts  []*Packet
+	bytes units.Size
+}
+
+// port is one attachment point of a node: egress transmitter plus ingress
+// buffer accounting for the attached channel.
+type port struct {
+	owner    *node
+	local    int // port index on owner
+	link     *topology.Link
+	peer     topology.NodeID
+	peerPort int
+	capacity units.Rate
+
+	// Egress state.
+	sched       Scheduling
+	voqs        [][]voq        // [priority][arrival port] (FIFO mode: slot 0 only)
+	fedBytes    [][]units.Size // [priority][arrival port] backlog accounting
+	rrVoq       []int          // per priority, round-robin cursor over VOQs
+	queuedBytes []units.Size
+	queuedPkts  int
+	busy        bool
+	senders     []flowcontrol.Sender
+	rr          int
+	wrrCredit   []int // weighted-RR packet credits per priority (nil: equal)
+	txBytes     []units.Size // per priority, cumulative data serialised
+
+	// Pre-bound event callbacks, created once at network construction so
+	// the hot path schedules stored funcs instead of allocating a fresh
+	// closure per kick, transmission and arrival.
+	kickFn    func() // wake-up timer: retry a flow-control-blocked egress
+	txDoneFn  func() // transmission completion for the in-flight packet
+	arriveFn  func() // link-delay arrival at the *receiving* end (this port)
+	kickAt    units.Time    // when the pending kick timer fires; Never if none
+	kickEv    eventsim.Event
+	txPkt     *Packet // the single in-flight transmission (guarded by busy)
+	txPrio    int
+	txDur     units.Time
+	propQueue []*Packet // packets in flight *toward* this port, FIFO
+	propHead  int
+
+	// Ingress state.
+	occupancy []units.Size
+	departed  []units.Size // per priority, cumulative bytes released
+	receivers []flowcontrol.Receiver
+	buffer    units.Size
+	// inq is the per-priority ingress FIFO used by SchedInputQueued at
+	// switches: packets wait here until their egress can take them, with
+	// head-of-line blocking.
+	inq [][]*Packet
+}
+
+func (p *port) totalQueued() int { return p.queuedPkts }
+
+// pushInFlight records a packet serialised onto the channel toward this
+// port. Arrivals pop in push order: the upstream transmitter is serialised
+// by its busy flag and the propagation delay is a per-link constant, so
+// arrival times are strictly increasing.
+func (p *port) pushInFlight(pkt *Packet) { p.propQueue = append(p.propQueue, pkt) }
+
+// popInFlight removes the oldest in-flight packet.
+func (p *port) popInFlight() *Packet {
+	pkt := p.propQueue[p.propHead]
+	p.propQueue[p.propHead] = nil
+	p.propHead++
+	if p.propHead == len(p.propQueue) {
+		p.propQueue = p.propQueue[:0]
+		p.propHead = 0
+	}
+	return pkt
+}
+
+// arrivalKey is the per-input accounting slot of pkt at this node.
+func arrivalKey(pkt *Packet) int {
+	if pkt.arrivalPort < 0 {
+		return 0 // host injection
+	}
+	return pkt.arrivalPort
+}
+
+// enqueue appends pkt to the egress for its priority.
+func (p *port) enqueue(pkt *Packet) {
+	key := arrivalKey(pkt)
+	slot := key
+	if p.sched != SchedVOQ {
+		slot = 0 // FIFO / TX-ring order for every other discipline
+	}
+	v := &p.voqs[pkt.Priority][slot]
+	v.pkts = append(v.pkts, pkt)
+	v.bytes += pkt.Size
+	p.fedBytes[pkt.Priority][key] += pkt.Size
+	p.queuedBytes[pkt.Priority] += pkt.Size
+	p.queuedPkts++
+}
+
+// nextPacket returns (without removing) the next packet of the given
+// priority and its queue slot, or nil: the global head in FIFO mode, the
+// round-robin VOQ head in VOQ mode.
+func (p *port) nextPacket(prio int) (*Packet, int) {
+	vs := p.voqs[prio]
+	if p.sched != SchedVOQ {
+		if len(vs[0].pkts) > 0 {
+			return vs[0].pkts[0], 0
+		}
+		return nil, -1
+	}
+	for i := 0; i < len(vs); i++ {
+		k := (p.rrVoq[prio] + i) % len(vs)
+		if len(vs[k].pkts) > 0 {
+			return vs[k].pkts[0], k
+		}
+	}
+	return nil, -1
+}
+
+// dequeue removes the head of queue slot for prio and advances the cursor.
+func (p *port) dequeue(prio, slot int) *Packet {
+	v := &p.voqs[prio][slot]
+	pkt := v.pkts[0]
+	v.pkts = v.pkts[1:]
+	v.bytes -= pkt.Size
+	p.fedBytes[prio][arrivalKey(pkt)] -= pkt.Size
+	p.queuedBytes[prio] -= pkt.Size
+	p.queuedPkts--
+	p.rrVoq[prio] = (slot + 1) % len(p.voqs[prio])
+	return pkt
+}
+
+// node is a host or switch instance.
+type node struct {
+	id    topology.NodeID
+	kind  topology.Kind
+	ports []*port
+
+	// Host state.
+	flows    []*Flow
+	rrFlow   int
+	refillAt units.Time
+	refillEv eventsim.Event
+	refillFn func() // pre-bound refill timer callback
+
+	// SchedBlocking forwarding state, per priority.
+	fwdCursor  []int
+	fwdBlocked []*port // egress whose full TX ring stalls forwarding
+	forwarding []bool  // re-entrancy guard
+}

@@ -7,7 +7,9 @@ import (
 
 // Trace carries optional observation hooks. Every field may be nil. Hooks
 // fire synchronously inside the simulation loop; they must not mutate the
-// network.
+// network. A *Packet passed to a hook is only valid for the duration of the
+// callback: delivered and dropped packets return to a free list afterwards,
+// so hooks must copy the fields they need rather than retain the pointer.
 type Trace struct {
 	// OnQueue fires after an ingress queue changes: node, local port,
 	// priority, new occupancy.

@@ -1,0 +1,123 @@
+// Package runner is a deterministic worker pool for share-nothing
+// simulation experiments.
+//
+// Paper-scale sweeps (Table 1: hundreds of random failure scenarios × four
+// flow-control schemes) are embarrassingly parallel: each scenario builds
+// its own Network, which owns its own event engine and shares no mutable
+// state with any other. The runner exploits that while keeping results
+// bit-identical regardless of worker count, which it guarantees by
+// construction:
+//
+//   - every job derives all randomness from its own index/seed, never from
+//     shared state or scheduling order;
+//   - results land in a slice indexed by job position, so aggregation
+//     happens in job order no matter which worker finished first;
+//   - a panicking job is captured as that job's error instead of tearing
+//     down the process (one pathological scenario must not kill a sweep).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job computes one experiment. Implementations must be self-contained:
+// seeded by the closure that built them and free of shared mutable state.
+// The context is the one passed to Run; long jobs may poll it.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Result is the outcome of one job, in job order.
+type Result[T any] struct {
+	Value T
+	// Err is the job's returned error, a *PanicError if it panicked, or
+	// the context error for jobs skipped after cancellation.
+	Err error
+}
+
+// PanicError wraps a recovered job panic so a sweep survives a pathological
+// scenario and reports it instead of crashing.
+type PanicError struct {
+	Value any    // the recovered value
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// Run executes jobs on a pool of workers and returns their results in job
+// order. workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs the
+// jobs inline in order. Because jobs are share-nothing and results are
+// collected by index, the returned slice is identical for every worker
+// count. When ctx is cancelled, jobs not yet started report ctx's error;
+// already-running jobs finish normally.
+func Run[T any](ctx context.Context, jobs []Job[T], workers int) []Result[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result[T], len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				results[i] = Result[T]{Err: err}
+				continue
+			}
+			results[i] = runOne(ctx, job)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = Result[T]{Err: err}
+					continue
+				}
+				results[i] = runOne(ctx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with panic capture.
+func runOne[T any](ctx context.Context, job Job[T]) (res Result[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: stack()}
+		}
+	}()
+	res.Value, res.Err = job(ctx)
+	return res
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// FirstErr returns the error of the lowest-indexed failed job, or nil. Using
+// job order (not completion order) keeps error reporting deterministic too.
+func FirstErr[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
