@@ -25,16 +25,22 @@ import (
 )
 
 var (
-	expName  = flag.String("exp", "", "experiment to run (fig5, fig9, ..., table1)")
-	duration = flag.Duration("duration", 0, "override simulated duration (e.g. 50ms)")
-	networks = flag.Int("networks", 300, "table1/fig16/fig17: scenarios to scan per scale")
-	repeats  = flag.Int("repeats", 3, "table1: workload repeats per scenario")
-	scales   = flag.String("scales", "4,8", "table1: comma-separated fat-tree arities")
-	seed     = flag.Int64("seed", 1, "base random seed")
-	workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "table1/fig16/fig17: scenarios simulated concurrently")
-	series   = flag.Bool("series", false, "print raw time-series data points")
-	chart    = flag.Bool("chart", false, "render time series as ASCII charts")
+	expName    = flag.String("exp", "", "experiment to run (fig5, fig9, ..., table1)")
+	duration   = flag.Duration("duration", 0, "override simulated duration (e.g. 50ms)")
+	networks   = flag.Int("networks", 300, "table1/fig16/fig17: scenarios to scan per scale")
+	repeats    = flag.Int("repeats", 3, "table1: workload repeats per scenario")
+	scales     = flag.String("scales", "4,8", "table1: comma-separated fat-tree arities")
+	seed       = flag.Int64("seed", 1, "base random seed")
+	workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "table1/fig16/fig17: scenarios simulated concurrently")
+	series     = flag.Bool("series", false, "print raw time-series data points")
+	chart      = flag.Bool("chart", false, "render time series as ASCII charts")
+	metricsOut = flag.String("metrics-out", "",
+		"write per-channel metrics reports (JSON, or CSV when the path ends in .csv)\nand fail on invariant violations; supported by fig9/fig10/fig12/fig13/fig14")
 )
+
+// sink gathers the per-run metrics registries when -metrics-out is set; nil
+// (and inert) otherwise.
+var sink *metricsSink
 
 func main() {
 	flag.Parse()
@@ -42,6 +48,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sink = newMetricsSink(*metricsOut)
 	var err error
 	switch *expName {
 	case "fig5":
@@ -69,6 +76,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
+	}
+	if err == nil {
+		err = sink.flush()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -123,12 +133,15 @@ func runRing(pause, gentle experiments.FC) error {
 	fmt.Printf("Figures 9/10: 3-switch ring, testbed parameters (1MB buffers, τ=90µs)\n\n")
 	fmt.Println("(a) deadlock formation regime (2 hosts/switch):")
 	for _, fc := range []experiments.FC{pause, gentle} {
+		reg := sink.registry()
+		d := dur(200 * units.Millisecond)
 		res, err := experiments.RunRing(experiments.RingConfig{
-			FC: fc, Duration: dur(200 * units.Millisecond), HostsPerSwitch: 2,
+			FC: fc, Duration: d, HostsPerSwitch: 2, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
+		sink.record("ring-formation-"+string(fc), reg, d)
 		verdict := "no deadlock"
 		if res.Deadlocked {
 			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
@@ -137,12 +150,15 @@ func runRing(pause, gentle experiments.FC) error {
 	}
 	fmt.Println("\n(b) steady state, critically loaded (1 host/switch):")
 	for _, fc := range []experiments.FC{pause, gentle} {
+		reg := sink.registry()
+		d := dur(60 * units.Millisecond)
 		res, err := experiments.RunRing(experiments.RingConfig{
-			FC: fc, Duration: dur(60 * units.Millisecond),
+			FC: fc, Duration: d, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
+		sink.record("ring-steady-"+string(fc), reg, d)
 		fmt.Printf("  %-12s steady queue %-9v steady rate %-9v (paper GFC: ≈840KB/5G buffer-based, ≈745KB/5G time-based)\n",
 			fc, res.SteadyQueue, res.SteadyRate)
 		printSeries(string(fc)+" queue", res.Queue, 60)
@@ -154,12 +170,15 @@ func runCaseStudy(pause, gentle experiments.FC) error {
 	fmt.Println("Figures 12/13: k=4 fat-tree with failed links, CBD C1→A3→C2→A7→C1")
 	fmt.Println("\n(a) deadlock formation (with cross-flow squeeze):")
 	for _, fc := range []experiments.FC{pause, gentle} {
+		reg := sink.registry()
+		d := dur(60 * units.Millisecond)
 		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
-			FC: fc, Duration: dur(60 * units.Millisecond), WithCross: true,
+			FC: fc, Duration: d, WithCross: true, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
+		sink.record("casestudy-formation-"+string(fc), reg, d)
 		verdict := "no deadlock"
 		if res.Deadlocked {
 			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
@@ -168,12 +187,15 @@ func runCaseStudy(pause, gentle experiments.FC) error {
 	}
 	fmt.Println("\n(b) steady state (the paper's four flows):")
 	for _, fc := range []experiments.FC{pause, gentle} {
+		reg := sink.registry()
+		d := dur(60 * units.Millisecond)
 		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
-			FC: fc, Duration: dur(60 * units.Millisecond),
+			FC: fc, Duration: d, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
+		sink.record("casestudy-steady-"+string(fc), reg, d)
 		fmt.Printf("  %-12s per-flow rates:", fc)
 		for _, r := range res.FlowRates {
 			fmt.Printf(" %v", r)
@@ -186,13 +208,16 @@ func runCaseStudy(pause, gentle experiments.FC) error {
 func runVictim() error {
 	fmt.Println("Figure 14: victim flow H12→H4 (shares switches with the CBD, avoids its channels)")
 	for _, fc := range experiments.AllFCs() {
+		reg := sink.registry()
+		d := dur(60 * units.Millisecond)
 		res, _, err := experiments.RunCaseStudy(experiments.CaseStudyConfig{
-			FC: fc, Duration: dur(60 * units.Millisecond),
-			WithCross: true, WithVictim: true,
+			FC: fc, Duration: d,
+			WithCross: true, WithVictim: true, Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
+		sink.record("victim-"+string(fc), reg, d)
 		verdict := "alive"
 		if res.Deadlocked {
 			verdict = "DEADLOCK"

@@ -10,9 +10,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 
 	gfc "github.com/gfcsim/gfc"
@@ -25,6 +27,7 @@ func main() {
 	repeats := flag.Int("repeats", 2, "workload repeats per prone scenario")
 	seed := flag.Int64("seed", 1, "base seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scenarios simulated concurrently")
+	metricsOut := flag.String("metrics-out", "", "write per-scheme merged metrics summaries (JSON)")
 	flag.Parse()
 
 	type scheme struct {
@@ -39,11 +42,15 @@ func main() {
 	}
 
 	// outcome is one scenario's result: whether it was CBD-prone and, if
-	// so, which schemes deadlocked on any repeat.
+	// so, which schemes deadlocked on any repeat. Per-scheme metrics
+	// summaries ride along so the fold below can merge them in scenario
+	// order, keeping the aggregate deterministic across worker counts.
 	type outcome struct {
-		prone bool
-		dead  []bool
+		prone   bool
+		dead    []bool
+		metrics []gfc.MetricsSummary
 	}
+	wantMetrics := *metricsOut != ""
 	jobs := make([]runner.Job[outcome], *networks)
 	for i := 0; i < *networks; i++ {
 		i := i
@@ -55,12 +62,21 @@ func main() {
 			if !gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo)).HasCycle() {
 				return outcome{}, nil // statically CBD-free: cannot deadlock
 			}
-			out := outcome{prone: true, dead: make([]bool, len(schemes))}
+			out := outcome{
+				prone:   true,
+				dead:    make([]bool, len(schemes)),
+				metrics: make([]gfc.MetricsSummary, len(schemes)),
+			}
 			for si, s := range schemes {
 				for r := 0; r < *repeats && !out.dead[si]; r++ {
+					var reg *gfc.MetricsRegistry
+					if wantMetrics {
+						reg = gfc.NewMetricsRegistry(gfc.MetricsOptions{})
+					}
 					sim, err := gfc.NewSimulation(topo, gfc.Options{
 						BufferSize:  300 * gfc.KB,
 						FlowControl: s.factory,
+						Metrics:     reg,
 					})
 					if err != nil {
 						return outcome{}, err
@@ -77,6 +93,9 @@ func main() {
 					if det.Deadlocked() != nil {
 						out.dead[si] = true
 					}
+					if reg != nil {
+						out.metrics[si].Merge(reg.Summary())
+					}
 				}
 			}
 			return out, nil
@@ -88,6 +107,7 @@ func main() {
 	}
 
 	deadlocks := make([]int, len(schemes))
+	merged := make([]gfc.MetricsSummary, len(schemes))
 	prone := 0
 	for i, res := range results {
 		if !res.Value.prone {
@@ -98,6 +118,9 @@ func main() {
 			if d {
 				deadlocks[si]++
 			}
+			if wantMetrics {
+				merged[si].Merge(res.Value.metrics[si])
+			}
 		}
 		fmt.Printf("scenario %d/%d is CBD-prone (%d so far)\n", i+1, *networks, prone)
 	}
@@ -105,5 +128,29 @@ func main() {
 	fmt.Println("Deadlock cases (any repeat deadlocked):")
 	for si, s := range schemes {
 		fmt.Printf("  %-12s %d\n", s.name, deadlocks[si])
+	}
+
+	if wantMetrics {
+		type schemeSummary struct {
+			Scheme  string             `json:"scheme"`
+			Summary gfc.MetricsSummary `json:"summary"`
+		}
+		out := make([]schemeSummary, len(schemes))
+		for si, s := range schemes {
+			out[si] = schemeSummary{Scheme: s.name, Summary: merged[si]}
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			panic(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("metrics: wrote per-scheme summaries to %s\n", *metricsOut)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/fluid"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/topology"
@@ -226,6 +227,33 @@ const (
 func NewSimulation(topo *Topology, opt Options) (*Simulation, error) {
 	return netsim.New(topo, opt)
 }
+
+// Observability: per-channel counters, occupancy series and runtime
+// invariant checking (internal/metrics). Attach a fresh registry via
+// Options.Metrics; the simulator keeps it updated at zero cost when nil.
+type (
+	// MetricsRegistry accumulates per-channel counters for one simulation.
+	MetricsRegistry = metrics.Registry
+	// MetricsOptions configures a MetricsRegistry.
+	MetricsOptions = metrics.Options
+	// MetricsReport is a full point-in-time export of a registry.
+	MetricsReport = metrics.Report
+	// MetricsSummary is the compact roll-up sweeps aggregate.
+	MetricsSummary = metrics.Summary
+	// InvariantViolation is one recorded invariant failure.
+	InvariantViolation = metrics.Violation
+	// InvariantError is the structured failure report of a violated run.
+	InvariantError = metrics.InvariantError
+)
+
+// Observability constructors.
+var (
+	// NewMetricsRegistry returns an unbound registry to pass via
+	// Options.Metrics.
+	NewMetricsRegistry = metrics.New
+	// ValidateStageTable statically checks a stage table's monotonicity.
+	ValidateStageTable = metrics.ValidateStageTable
+)
 
 // Deadlock analysis.
 type (

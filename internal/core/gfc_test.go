@@ -420,3 +420,43 @@ func TestStageTableRatioInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: StageFor is monotone non-decreasing in q over the whole input
+// range (not just at thresholds), StageRate is non-increasing in k, and
+// stage 0 is always line rate — the monotone behaviour the runtime invariant
+// checker (internal/metrics) assumes of every table it validates.
+func TestStageTableMonotoneProperties(t *testing.T) {
+	f := func(b1Frac uint8, ratioFrac uint8, qa, qb uint32) bool {
+		bm := 1000 * units.KB
+		b1 := units.Size(100+int64(b1Frac)%800) * units.KB
+		ratio := 0.25 + float64(ratioFrac%50)/100 // (0.25, 0.75), eq. 3 range
+		st, err := NewStageTableRatio(10*units.Gbps, bm, b1, ratio)
+		if err != nil {
+			return false
+		}
+		if st.StageRate(0) != st.C {
+			return false
+		}
+		// StageRate non-increasing in k, including the clamp past Stages().
+		for k := 1; k <= st.Stages()+2; k++ {
+			if st.StageRate(k) > st.StageRate(k-1) {
+				return false
+			}
+		}
+		// StageFor monotone: q1 ≤ q2 ⇒ StageFor(q1) ≤ StageFor(q2), sampled
+		// over queue lengths beyond Bm as well.
+		q1 := units.Size(qa) % (bm + bm/4)
+		q2 := units.Size(qb) % (bm + bm/4)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		if st.StageFor(q1) > st.StageFor(q2) {
+			return false
+		}
+		// RateFor is the composition, so it must be non-increasing too.
+		return st.RateFor(q1) >= st.RateFor(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

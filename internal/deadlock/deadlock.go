@@ -38,6 +38,12 @@ type Report struct {
 // Detector polls a Network for sustained circular standstill. Create one
 // with NewDetector and call Install to schedule periodic checks, or drive
 // Check manually.
+//
+// The detector is stateless between polls: each buffer's no-progress
+// interval is read off the network's own progress counters (the
+// LastDepartAt/OccupiedSince timestamps every ingress maintains — the same
+// counters the metrics registry exports), so a single snapshot decides
+// stall, in the spirit of counter-based in-network detection (DCFIT).
 type Detector struct {
 	net *netsim.Network
 	// Window is how long a buffer must hold bytes without progress to
@@ -46,19 +52,15 @@ type Detector struct {
 	// Interval is the polling period; default 1 ms.
 	Interval units.Time
 
-	lastDeparted map[ChannelKey]units.Size
-	stallSince   map[ChannelKey]units.Time
-	report       *Report
+	report *Report
 }
 
 // NewDetector returns a detector over n with default window and interval.
 func NewDetector(n *netsim.Network) *Detector {
 	return &Detector{
-		net:          n,
-		Window:       5 * units.Millisecond,
-		Interval:     units.Millisecond,
-		lastDeparted: make(map[ChannelKey]units.Size),
-		stallSince:   make(map[ChannelKey]units.Time),
+		net:      n,
+		Window:   5 * units.Millisecond,
+		Interval: units.Millisecond,
 	}
 }
 
@@ -88,14 +90,18 @@ func (d *Detector) Check() *Report {
 	now := d.net.Now()
 	states := d.net.IngressStates()
 
-	// Update stall bookkeeping. A buffer is deadlock-eligible only when
-	// it holds bytes, has not progressed for a full window, AND every
-	// channel it waits on is blocked with zero permitted rate — a
-	// positive rate means hold-and-wait is broken and the buffer will
+	// A buffer is deadlock-eligible only when it holds bytes, its own
+	// progress counters show no release for a full window (measured from
+	// the later of the last departure and the moment it became occupied),
+	// AND every channel it waits on is blocked with zero permitted rate —
+	// a positive rate means hold-and-wait is broken and the buffer will
 	// drain, however slowly (the GFC regime).
 	stalled := make(map[ChannelKey]netsim.IngressState)
+	stallStart := make(map[ChannelKey]units.Time)
 	for _, is := range states {
-		key := ChannelKey{From: is.From, Node: is.Node, Prio: is.Prio}
+		if is.Occupancy == 0 {
+			continue
+		}
 		blockedForever := len(is.WaitRates) > 0
 		for _, r := range is.WaitRates {
 			if r > 0 {
@@ -103,17 +109,19 @@ func (d *Detector) Check() *Report {
 				break
 			}
 		}
-		if is.Occupancy == 0 || is.Departed != d.lastDeparted[key] || !blockedForever {
-			d.lastDeparted[key] = is.Departed
-			delete(d.stallSince, key)
+		if !blockedForever {
 			continue
 		}
-		if _, ok := d.stallSince[key]; !ok {
-			d.stallSince[key] = now
+		start := is.LastDepartAt
+		if is.OccupiedSince > start {
+			start = is.OccupiedSince
 		}
-		if now-d.stallSince[key] >= d.Window {
-			stalled[key] = is
+		if now-start < d.Window {
+			continue
 		}
+		key := ChannelKey{From: is.From, Node: is.Node, Prio: is.Prio}
+		stalled[key] = is
+		stallStart[key] = start
 	}
 	if len(stalled) == 0 {
 		return nil
@@ -182,7 +190,7 @@ func (d *Detector) Check() *Report {
 	}
 	stallFor := units.Never
 	for _, k := range cycle {
-		if s := now - d.stallSince[k]; s < stallFor {
+		if s := now - stallStart[k]; s < stallFor {
 			stallFor = s
 		}
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
@@ -43,6 +44,10 @@ type CaseStudyConfig struct {
 	// fills and PFC/CBFC deadlock even under fair input-queued
 	// switching.
 	WithCross bool
+	// Metrics, when non-nil, is attached to the simulation (fresh,
+	// unbound) and collects per-channel counters and invariant verdicts
+	// alongside the case study's own traces.
+	Metrics *metrics.Registry
 }
 
 // RunCaseStudy executes the fat-tree deadlock case study (Figures 12, 13
@@ -55,6 +60,7 @@ func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, units.Rate, error) {
 	simCfg, fp := SimParams()
 	simCfg.FlowControl = fp.Factory(cfg.FC)
 	simCfg.Scheduling = cfg.Scheduling
+	simCfg.Metrics = cfg.Metrics
 
 	tp := stats.NewBinCounter(100 * units.Microsecond)
 	simCfg.Trace = &netsim.Trace{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/stats"
@@ -46,22 +47,12 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	simCfg, fp := SimParams()
 	simCfg.FlowControl = fp.Factory(cfg.FC)
 
+	// Per-channel feedback wire bytes come straight off the metrics
+	// registry: the run is stepped one bin at a time and each channel's
+	// cumulative FeedbackWire counter is differenced per step.
 	const bin = 500 * units.Microsecond
-	// Per receiving channel (keyed by upstream node and downstream
-	// node), count feedback bytes per bin.
-	type chanKey struct{ from, to topology.NodeID }
-	counters := make(map[chanKey]*stats.BinCounter)
-	simCfg.Trace = &netsim.Trace{
-		OnFeedback: func(t units.Time, from, to topology.NodeID, _ int, wire units.Size) {
-			k := chanKey{from, to}
-			c := counters[k]
-			if c == nil {
-				c = stats.NewBinCounter(bin)
-				counters[k] = c
-			}
-			c.Add(t, wire)
-		},
-	}
+	reg := metrics.New(metrics.Options{})
+	simCfg.Metrics = reg
 	net, err := netsim.New(topo, simCfg)
 	if err != nil {
 		return nil, err
@@ -70,18 +61,34 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	if err := gen.Start(); err != nil {
 		return nil, err
 	}
-	net.Run(cfg.Duration)
+	nBins := int(cfg.Duration / bin)
+	nc := reg.NumChannels()
+	prev := make([]units.Size, nc)
+	binWire := make([][]units.Size, nc)
+	for c := range binWire {
+		binWire[c] = make([]units.Size, nBins)
+	}
+	for b := 0; b < nBins; b++ {
+		net.Run(bin * units.Time(b+1))
+		for c := 0; c < nc; c++ {
+			w := reg.Counter(c).FeedbackWire
+			binWire[c][b] = w - prev[c]
+			prev[c] = w
+		}
+	}
+	net.Run(cfg.Duration) // tail when Duration is not a whole bin count
 
 	res := &OverheadResult{CDF: &stats.CDF{}, Drops: net.Drops()}
-	nBins := int(cfg.Duration / bin)
 	cap10G := float64(10 * units.Gbps)
-	for _, c := range counters {
-		bins := c.Bins()
-		for i := 0; i < nBins; i++ {
-			var rate units.Rate
-			if i < len(bins) {
-				rate = units.RateOf(bins[i], bin)
-			}
+	for c := 0; c < nc; c++ {
+		// As in the paper's measurement, only channels that carried any
+		// feedback contribute samples (idle ports would swamp the CDF
+		// with zeros).
+		if prev[c] == 0 {
+			continue
+		}
+		for _, w := range binWire[c] {
+			rate := units.RateOf(w, bin)
 			res.CDF.Add(float64(rate) / cap10G)
 		}
 	}

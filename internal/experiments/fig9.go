@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/stats"
@@ -39,6 +40,10 @@ type RingConfig struct {
 	// Tau overrides the testbed's 90 µs worst-case feedback latency
 	// used for parameter derivation (ablations).
 	Tau units.Time
+	// Metrics, when non-nil, is attached to the simulation (fresh,
+	// unbound) and collects per-channel counters, occupancy series and
+	// invariant verdicts alongside the figure's own traces.
+	Metrics *metrics.Registry
 }
 
 // RunRing executes the §6.1 ring experiment under one scheme with the
@@ -62,6 +67,7 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	}
 	simCfg.FlowControl = fp.Factory(cfg.FC)
 	simCfg.Scheduling = cfg.Scheduling
+	simCfg.Metrics = cfg.Metrics
 
 	res := &RingResult{FC: cfg.FC, Queue: &stats.Series{}, Rate: &stats.Series{}}
 	s1 := topo.MustLookup("S1")

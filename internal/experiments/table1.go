@@ -6,6 +6,7 @@ import (
 
 	"github.com/gfcsim/gfc/internal/cbd"
 	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/runner"
@@ -104,12 +105,10 @@ func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepCo
 	simCfg.FlowControl = fp.Factory(fc)
 	simCfg.Scheduling = cfg.Scheduling
 
-	var feedback units.Size
-	simCfg.Trace = &netsim.Trace{
-		OnFeedback: func(_ units.Time, _, _ topology.NodeID, _ int, wire units.Size) {
-			feedback += wire
-		},
-	}
+	// The metrics registry supplies the feedback-byte accounting the
+	// bespoke Trace closure used to keep.
+	reg := metrics.New(metrics.Options{})
+	simCfg.Metrics = reg
 	net, err := netsim.New(topo, simCfg)
 	if err != nil {
 		return nil, err
@@ -144,7 +143,7 @@ func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepCo
 		}
 	}
 	if capBits > 0 {
-		res.FeedbackFraction = float64(feedback.Bits()) / capBits
+		res.FeedbackFraction = float64(reg.Summary().FeedbackWire.Bits()) / capBits
 	}
 	return res, nil
 }

@@ -15,6 +15,7 @@ package flowcontrol
 import (
 	"fmt"
 
+	"github.com/gfcsim/gfc/internal/core"
 	"github.com/gfcsim/gfc/internal/units"
 )
 
@@ -135,6 +136,22 @@ type Receiver interface {
 	// OnDeparture reports that a packet of size s left the switch,
 	// bringing the ingress queue to q.
 	OnDeparture(s, q units.Size)
+}
+
+// Bounded is implemented by Senders whose rate mapping has a finite queue
+// ceiling B_m: in the absence of feedback loss the downstream ingress
+// occupancy converges below it (Theorems 4.1/5.1), modulo the transient
+// headroom the positive floor rate needs. Observability layers use it to
+// derive the runtime occupancy ceiling they assert.
+type Bounded interface {
+	// Ceiling returns the mapping ceiling B_m.
+	Ceiling() units.Size
+}
+
+// Staged is implemented by Senders driven by a multi-stage mapping table
+// (buffer-based GFC), exposing it for static validation.
+type Staged interface {
+	StageTable() *core.StageTable
 }
 
 // Controller pairs the two halves for one channel/priority.

@@ -1,6 +1,7 @@
 package flowcontrol
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -684,5 +685,76 @@ func TestPFCQuantaRefresh(t *testing.T) {
 	env.eng.Run(env.eng.Now() + 50*units.Microsecond)
 	if ok, _ := c.Sender.TrySend(1500); !ok {
 		t.Fatal("sender still paused after drain")
+	}
+}
+
+// Property: NextAllowed never precedes the last transmission's end, is
+// monotone non-increasing in the assigned rate, and saturates cleanly to
+// units.Never instead of overflowing when the countdown arithmetic exceeds
+// the time range (huge R_l, tiny R_r, or a last-end near the horizon).
+func TestRateLimiterNextAllowedProperties(t *testing.T) {
+	f := func(endRaw, durRaw uint64, rateRaw uint32) bool {
+		c := 100 * units.Gbps
+		rl := NewRateLimiter(c)
+		rl.MinRate = 1 // let assigned rates get arbitrarily slow
+		end := units.Time(endRaw % uint64(units.Never))
+		dur := units.Time(durRaw % uint64(units.Never))
+		if dur == 0 {
+			dur = 1
+		}
+		rl.OnSent(end, dur)
+
+		lo := units.Rate(rateRaw%1000) + 1 // down to 1 b/s
+		hi := lo * 1000
+		rl.SetRate(lo)
+		atLo := rl.NextAllowed()
+		rl.SetRate(hi)
+		atHi := rl.NextAllowed()
+		rl.SetRate(c)
+		atLine := rl.NextAllowed()
+
+		// Never negative, never before the wire went idle.
+		if atLo < end || atHi < end || atLine != end {
+			return false
+		}
+		// Slower assigned rate cannot unblock earlier.
+		if atHi > atLo {
+			return false
+		}
+		// Saturation is exact: either a representable time or Never.
+		return atLo <= units.Never && atHi <= units.Never
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The overflow guard at the Never boundary: a countdown whose end would pass
+// MaxInt64 must report Never, and one safely inside the range must not.
+func TestRateLimiterNeverBoundary(t *testing.T) {
+	c := 100 * units.Gbps
+	rl := NewRateLimiter(c)
+	rl.MinRate = 1
+	rl.Slack = 0
+
+	// ~292 years of wire time at 1 b/s against 100 Gb/s: extra overflows.
+	rl.OnSent(0, units.Time(math.MaxInt64/4))
+	rl.SetRate(1)
+	if got := rl.NextAllowed(); got != units.Never {
+		t.Fatalf("overflowing countdown = %v, want Never", got)
+	}
+
+	// A last end adjacent to the horizon overflows even with a short packet.
+	rl.OnSent(units.Never-1, 1200)
+	rl.SetRate(c / 2)
+	if got := rl.NextAllowed(); got != units.Never {
+		t.Fatalf("horizon-adjacent countdown = %v, want Never", got)
+	}
+
+	// Well inside the range the guard must not fire.
+	rl.OnSent(1200, 1200)
+	rl.SetRate(c / 2)
+	if got := rl.NextAllowed(); got != 2400 {
+		t.Fatalf("in-range countdown = %v, want 2400", got)
 	}
 }

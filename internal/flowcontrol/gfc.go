@@ -109,6 +109,12 @@ func (s *gfcBufferSender) Rate() units.Rate { return s.rl.Rate() }
 // Stage reports the last stage ID received (diagnostic).
 func (s *gfcBufferSender) Stage() int { return s.stage }
 
+// Ceiling returns the stage table's mapping ceiling B_m (Bounded).
+func (s *gfcBufferSender) Ceiling() units.Size { return s.table.Bm }
+
+// StageTable exposes the mapping table for validation (Staged).
+func (s *gfcBufferSender) StageTable() *core.StageTable { return s.table }
+
 // gfcBufferReceiver is the buffer-based Message Generator. Messages are
 // paced to at most one per τ: §4.2's overhead analysis ("in the worst case,
 // feedback messages are generated every τ") assumes exactly this, and
@@ -246,6 +252,9 @@ func (s *gfcContinuousSender) OnFeedback(m Message) {
 }
 
 func (s *gfcContinuousSender) Rate() units.Rate { return s.rl.Rate() }
+
+// Ceiling returns the continuous mapping's ceiling B_m (Bounded).
+func (s *gfcContinuousSender) Ceiling() units.Size { return s.mapping.Bm }
 
 type gfcConceptualReceiver struct {
 	p    Params

@@ -128,3 +128,6 @@ func (s *gfcTimeSender) Rate() units.Rate {
 	}
 	return s.rl.Rate()
 }
+
+// Ceiling returns the mapping ceiling B_m (Bounded).
+func (s *gfcTimeSender) Ceiling() units.Size { return s.bm }

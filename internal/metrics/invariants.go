@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// ViolationKind enumerates the runtime invariants the registry asserts.
+type ViolationKind uint8
+
+// Invariant kinds.
+const (
+	// ViolationOverflow: an ingress occupancy exceeded its buffer
+	// allocation — losslessness is already lost in any real switch.
+	ViolationOverflow ViolationKind = iota
+	// ViolationDrop: a packet was dropped. The defining failure of a
+	// lossless fabric (the simulator admits-or-drops, so overflow
+	// normally manifests here).
+	ViolationDrop
+	// ViolationCeiling: an occupancy exceeded the theorem-derived GFC
+	// ceiling (B_m plus the transient headroom the positive floor rate
+	// needs, Theorems 4.1/5.1) — the flow control reacted too late.
+	ViolationCeiling
+	// ViolationStageRange: stage feedback carried a stage ID outside the
+	// channel's stage table.
+	ViolationStageRange
+	// ViolationStageTable: a channel's stage table failed monotonicity
+	// validation (thresholds not ascending or rates increasing).
+	ViolationStageTable
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationOverflow:
+		return "overflow"
+	case ViolationDrop:
+		return "drop"
+	case ViolationCeiling:
+		return "ceiling"
+	case ViolationStageRange:
+		return "stage-range"
+	case ViolationStageTable:
+		return "stage-table"
+	default:
+		return fmt.Sprintf("violation(%d)", uint8(k))
+	}
+}
+
+// Violation is one recorded invariant failure, located on its channel.
+type Violation struct {
+	Kind     ViolationKind
+	At       units.Time
+	Node     topology.NodeID
+	NodeName string
+	Port     int
+	Prio     int
+	From     topology.NodeID
+	FromName string
+	// Occupancy and Limit carry the violated quantity and its bound
+	// (for stage violations: the stage ID and table maximum).
+	Occupancy units.Size
+	Limit     units.Size
+	Detail    string
+}
+
+func (v Violation) String() string {
+	loc := fmt.Sprintf("%s port %d prio %d (from %s)", v.NodeName, v.Port, v.Prio, v.FromName)
+	switch v.Kind {
+	case ViolationStageRange:
+		return fmt.Sprintf("%v %s at %s: stage %d outside table (max %d)",
+			v.At, v.Kind, loc, int64(v.Occupancy), int64(v.Limit))
+	case ViolationStageTable:
+		return fmt.Sprintf("%v %s at %s: %s", v.At, v.Kind, loc, v.Detail)
+	default:
+		return fmt.Sprintf("%v %s at %s: occupancy %v exceeds %v",
+			v.At, v.Kind, loc, v.Occupancy, v.Limit)
+	}
+}
+
+// InvariantError is the structured failure report of a run that violated at
+// least one invariant.
+type InvariantError struct {
+	Violations []Violation
+	// Truncated counts violations beyond Options.MaxViolations that were
+	// tallied but not recorded in full.
+	Truncated int64
+}
+
+func (e *InvariantError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics: %d invariant violation(s)", int64(len(e.Violations))+e.Truncated)
+	for i, v := range e.Violations {
+		if i == 3 {
+			fmt.Fprintf(&b, "; ... %d more", int64(len(e.Violations)-3)+e.Truncated)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// violate records v against channel idx, filling in the channel identity.
+func (r *Registry) violate(v Violation, idx int) {
+	ch := r.chans[idx]
+	v.Node, v.NodeName, v.Port, v.Prio = ch.Node, ch.NodeName, ch.Port, ch.Prio
+	v.From, v.FromName = ch.From, ch.FromName
+	if len(r.violations) < r.opt.MaxViolations {
+		r.violations = append(r.violations, v)
+	} else {
+		r.truncated++
+	}
+	if r.opt.OnViolation != nil {
+		r.opt.OnViolation(v)
+	}
+}
+
+// Violations returns the recorded violations (up to Options.MaxViolations).
+func (r *Registry) Violations() []Violation { return r.violations }
+
+// Err returns nil when every invariant held, else an *InvariantError
+// carrying the recorded violations — the structured report a violated run
+// fails with.
+func (r *Registry) Err() error {
+	if len(r.violations) == 0 && r.truncated == 0 {
+		return nil
+	}
+	return &InvariantError{Violations: r.violations, Truncated: r.truncated}
+}
+
+// ValidateStageTable statically checks the monotone behaviour practical GFC
+// depends on: thresholds strictly ascending below B_m, rates positive and
+// non-increasing with stage 0 at line rate, and StageFor monotone across
+// every threshold.
+func ValidateStageTable(t *core.StageTable) error {
+	n := t.Stages()
+	if n < 1 {
+		return fmt.Errorf("stage table has no stages")
+	}
+	if t.StageRate(0) != t.C {
+		return fmt.Errorf("stage 0 rate %v is not line rate %v", t.StageRate(0), t.C)
+	}
+	prevRate := t.C
+	var prevThr units.Size
+	for k := 1; k <= n; k++ {
+		thr, rate := t.Threshold(k), t.StageRate(k)
+		if rate <= 0 {
+			return fmt.Errorf("stage %d rate %v not positive", k, rate)
+		}
+		if rate > prevRate {
+			return fmt.Errorf("stage %d rate %v exceeds stage %d rate %v", k, rate, k-1, prevRate)
+		}
+		if k > 1 && thr <= prevThr {
+			return fmt.Errorf("threshold B_%d (%v) not above B_%d (%v)", k, thr, k-1, prevThr)
+		}
+		if thr > t.Bm {
+			return fmt.Errorf("threshold B_%d (%v) above B_m (%v)", k, thr, t.Bm)
+		}
+		if got := t.StageFor(thr); got != k {
+			return fmt.Errorf("StageFor(B_%d) = %d, want %d", k, got, k)
+		}
+		if got := t.StageFor(thr - 1); got != k-1 {
+			return fmt.Errorf("StageFor(B_%d − 1) = %d, want %d", k, got, k-1)
+		}
+		prevRate, prevThr = rate, thr
+	}
+	return nil
+}
+
+// CheckStageTable validates channel idx's stage table, recording a
+// ViolationStageTable on failure, and arms the per-message stage-range check
+// with the table's stage count.
+func (r *Registry) CheckStageTable(idx int, t *core.StageTable) {
+	if err := ValidateStageTable(t); err != nil {
+		r.violate(Violation{Kind: ViolationStageTable, Detail: err.Error()}, idx)
+		return
+	}
+	r.maxStage[idx] = int32(t.Stages())
+}

@@ -1,0 +1,315 @@
+// Package metrics is the simulation-wide observability layer: a registry of
+// per-channel (node, ingress port, priority) counters — bytes in/out,
+// occupancy high-water marks, feedback-message accounting split by kind
+// (pause/resume, stage, credit, queue) — backed by preallocated ring-buffer
+// occupancy series, plus a runtime invariant checker that turns losslessness
+// and the paper's Theorem 4.1/5.1 buffer bounds into continuously asserted
+// properties (see invariants.go).
+//
+// A Registry is bound to exactly one netsim.Network — netsim binds it when
+// Config.Metrics is set — and shares no state with any other instance,
+// matching the share-nothing concurrency model of internal/runner. All
+// hot-path methods are allocation-free after Bind (violations are the
+// exception: each recorded violation may allocate, and runs that violate
+// invariants have already failed). When Config.Metrics is nil the simulator
+// skips every call behind a single nil check, so the disabled cost is zero.
+package metrics
+
+import (
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// FeedbackClass buckets flow-control feedback messages for accounting. It
+// mirrors flowcontrol.Kind without importing it, so the dependency points
+// from the simulator into metrics only.
+type FeedbackClass uint8
+
+// Feedback classes.
+const (
+	FeedbackPause FeedbackClass = iota
+	FeedbackResume
+	FeedbackStage
+	FeedbackCredit
+	FeedbackQueue
+)
+
+// Options configures a Registry.
+type Options struct {
+	// SeriesCap is the per-channel occupancy ring-buffer capacity in
+	// samples. Zero disables occupancy series (counters only) — the
+	// right default for large sweeps.
+	SeriesCap int
+	// SeriesGap is the minimum spacing between occupancy samples; zero
+	// means 100 µs, the paper's §6.2.3 measurement bin.
+	SeriesGap units.Time
+	// MaxViolations caps how many violations are recorded in full; later
+	// ones only increment a truncation counter. Zero means 64.
+	MaxViolations int
+	// OnViolation, when non-nil, is called synchronously for every
+	// violation (including truncated ones) — e.g. to stop a run early.
+	OnViolation func(Violation)
+}
+
+// PortInfo describes one ingress attachment for Bind.
+type PortInfo struct {
+	Peer     topology.NodeID // upstream end of the channel into this port
+	PeerName string
+	Buffer   units.Size // per-priority ingress allocation
+}
+
+// NodeInfo describes one node for Bind.
+type NodeInfo struct {
+	ID    topology.NodeID
+	Name  string
+	Host  bool
+	Ports []PortInfo
+}
+
+// Channel is the static identity of one metrics channel: the directed
+// link From→Node at one priority, observed at Node's ingress port Port.
+type Channel struct {
+	Node     topology.NodeID
+	NodeName string
+	Port     int
+	Prio     int
+	From     topology.NodeID
+	FromName string
+	Host     bool // Node is a host (its ingress consumes immediately)
+}
+
+// Counters is the per-channel counter block. All byte quantities are
+// cumulative over the run.
+type Counters struct {
+	// BytesIn is data admitted into the ingress buffer; BytesOut is data
+	// serialised by the upstream transmitter onto this channel (BytesOut −
+	// BytesIn is in flight or dropped).
+	BytesIn  units.Size
+	BytesOut units.Size
+	// Departed is data released from the ingress buffer downstream.
+	Departed units.Size
+	// HighWater is the maximum ingress occupancy observed.
+	HighWater units.Size
+	// LastDepartAt is the time of the most recent release — the progress
+	// signal the deadlock detector consumes.
+	LastDepartAt units.Time
+	Admits       int64
+	Drops        int64
+	// FeedbackMsgs / FeedbackWire count flow-control messages emitted by
+	// this channel's receiver and their wire bytes (the Figure 19 /
+	// Table 1 overhead numerators).
+	FeedbackMsgs int64
+	FeedbackWire units.Size
+	PauseMsgs    int64
+	ResumeMsgs   int64
+	StageMsgs    int64
+	CreditMsgs   int64
+	QueueMsgs    int64
+	// LastStage / MaxStage track GFC stage feedback on this channel.
+	LastStage int32
+	MaxStage  int32
+}
+
+// Registry accumulates per-channel counters and invariant verdicts for one
+// simulation. The zero value is unusable; construct with New and attach via
+// netsim.Config.Metrics (netsim calls Bind).
+type Registry struct {
+	opt   Options
+	bound bool
+	k     int   // priority classes
+	base  []int // per node, first channel index (ports*k channels follow)
+
+	chans    []Channel
+	counters []Counters
+	buffers  []units.Size
+	ceilings []units.Size // 0: no theorem ceiling known for the channel
+	maxStage []int32      // -1: no stage table known
+	rings    []ring       // empty unless SeriesCap > 0
+	lastSamp []units.Time
+
+	violations []Violation
+	truncated  int64
+}
+
+// New returns an unbound registry.
+func New(opt Options) *Registry {
+	if opt.SeriesCap > 0 && opt.SeriesGap <= 0 {
+		opt.SeriesGap = 100 * units.Microsecond
+	}
+	if opt.MaxViolations == 0 {
+		opt.MaxViolations = 64
+	}
+	return &Registry{opt: opt}
+}
+
+// Bind allocates the counter storage for the given node/port layout with k
+// priority classes. netsim calls it once from New; binding twice panics
+// (a Registry serves exactly one Network).
+func (r *Registry) Bind(nodes []NodeInfo, k int) {
+	if r.bound {
+		panic("metrics: registry already bound to a network")
+	}
+	if k < 1 {
+		panic("metrics: need at least one priority class")
+	}
+	r.bound = true
+	r.k = k
+	r.base = make([]int, len(nodes))
+	total := 0
+	for i, n := range nodes {
+		r.base[i] = total
+		total += len(n.Ports) * k
+	}
+	r.chans = make([]Channel, total)
+	r.counters = make([]Counters, total)
+	r.buffers = make([]units.Size, total)
+	r.ceilings = make([]units.Size, total)
+	r.maxStage = make([]int32, total)
+	r.lastSamp = make([]units.Time, total)
+	for i := range r.maxStage {
+		r.maxStage[i] = -1
+	}
+	for i := range r.lastSamp {
+		r.lastSamp[i] = -1
+	}
+	for _, n := range nodes {
+		for pi, p := range n.Ports {
+			for prio := 0; prio < k; prio++ {
+				idx := r.base[n.ID] + pi*k + prio
+				r.chans[idx] = Channel{
+					Node: n.ID, NodeName: n.Name, Port: pi, Prio: prio,
+					From: p.Peer, FromName: p.PeerName, Host: n.Host,
+				}
+				r.buffers[idx] = p.Buffer
+			}
+		}
+	}
+	if r.opt.SeriesCap > 0 {
+		r.rings = make([]ring, total)
+		for i := range r.rings {
+			r.rings[i].init(r.opt.SeriesCap)
+		}
+	}
+}
+
+// ChannelIndex returns the dense index of (node, port, prio). The simulator
+// caches the prio-0 index per port so its hot path is a single add.
+func (r *Registry) ChannelIndex(node topology.NodeID, port, prio int) int {
+	return r.base[node] + port*r.k + prio
+}
+
+// NumChannels reports the number of bound channels.
+func (r *Registry) NumChannels() int { return len(r.chans) }
+
+// ChannelAt returns the static identity of channel idx.
+func (r *Registry) ChannelAt(idx int) Channel { return r.chans[idx] }
+
+// Counter returns a copy of the counter block of channel idx.
+func (r *Registry) Counter(idx int) Counters { return r.counters[idx] }
+
+// Buffer reports the ingress allocation of channel idx.
+func (r *Registry) Buffer(idx int) units.Size { return r.buffers[idx] }
+
+// OnAdmit records a packet of size s admitted to channel idx at time t,
+// bringing the ingress occupancy to occ. It updates the high-water mark and
+// asserts the losslessness and theorem-ceiling invariants on new maxima.
+func (r *Registry) OnAdmit(idx int, t units.Time, s, occ units.Size) {
+	c := &r.counters[idx]
+	c.BytesIn += s
+	c.Admits++
+	if occ > c.HighWater {
+		c.HighWater = occ
+		if b := r.buffers[idx]; occ > b {
+			r.violate(Violation{
+				Kind: ViolationOverflow, At: t, Occupancy: occ, Limit: b,
+			}, idx)
+		} else if ceil := r.ceilings[idx]; ceil > 0 && occ > ceil {
+			r.violate(Violation{
+				Kind: ViolationCeiling, At: t, Occupancy: occ, Limit: ceil,
+			}, idx)
+		}
+	}
+	r.sample(idx, t, occ)
+}
+
+// OnRelease records a packet of size s leaving channel idx's ingress buffer
+// at time t, bringing the occupancy to occ.
+func (r *Registry) OnRelease(idx int, t units.Time, s, occ units.Size) {
+	c := &r.counters[idx]
+	c.Departed += s
+	c.LastDepartAt = t
+	r.sample(idx, t, occ)
+}
+
+// OnTx records s bytes serialised by the upstream transmitter onto channel
+// idx.
+func (r *Registry) OnTx(idx int, s units.Size) {
+	r.counters[idx].BytesOut += s
+}
+
+// OnDrop records a dropped packet of size s at channel idx: occ is the
+// occupancy the admission would have produced (or held, for forced drops).
+// Every drop is a losslessness violation.
+func (r *Registry) OnDrop(idx int, t units.Time, s, occ units.Size) {
+	r.counters[idx].Drops++
+	r.violate(Violation{
+		Kind: ViolationDrop, At: t, Occupancy: occ, Limit: r.buffers[idx],
+	}, idx)
+}
+
+// OnFeedback records one flow-control message emitted by channel idx's
+// receiver: class buckets the message kind, stage carries the GFC stage for
+// FeedbackStage, and wire is the frame's wire size. Stage feedback is checked
+// against the channel's stage table when one was registered
+// (CheckStageTable).
+func (r *Registry) OnFeedback(idx int, t units.Time, class FeedbackClass, stage int, wire units.Size) {
+	c := &r.counters[idx]
+	c.FeedbackMsgs++
+	c.FeedbackWire += wire
+	switch class {
+	case FeedbackPause:
+		c.PauseMsgs++
+	case FeedbackResume:
+		c.ResumeMsgs++
+	case FeedbackStage:
+		c.StageMsgs++
+		c.LastStage = int32(stage)
+		if int32(stage) > c.MaxStage {
+			c.MaxStage = int32(stage)
+		}
+		if max := r.maxStage[idx]; stage < 0 || (max >= 0 && int32(stage) > max) {
+			r.violate(Violation{
+				Kind: ViolationStageRange, At: t,
+				Occupancy: units.Size(stage), Limit: units.Size(max),
+			}, idx)
+		}
+	case FeedbackCredit:
+		c.CreditMsgs++
+	case FeedbackQueue:
+		c.QueueMsgs++
+	}
+}
+
+// SetCeiling installs the theorem-derived occupancy ceiling for channel idx
+// (B_m plus transient headroom, clamped to the buffer). netsim derives it
+// from the channel's flowcontrol.Bounded sender; tests may override it to
+// seed deliberate violations. Zero disables the check.
+func (r *Registry) SetCeiling(idx int, ceil units.Size) {
+	r.ceilings[idx] = ceil
+}
+
+// Ceiling reports the installed ceiling of channel idx (0 when none).
+func (r *Registry) Ceiling(idx int) units.Size { return r.ceilings[idx] }
+
+// sample pushes an occupancy point into the channel's ring series, rate
+// limited to one sample per SeriesGap.
+func (r *Registry) sample(idx int, t units.Time, occ units.Size) {
+	if r.rings == nil {
+		return
+	}
+	if last := r.lastSamp[idx]; last >= 0 && t-last < r.opt.SeriesGap {
+		return
+	}
+	r.lastSamp[idx] = t
+	r.rings[idx].push(t, float64(occ))
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"testing"
 
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -71,5 +72,69 @@ func BenchmarkCongestedFabric(b *testing.B) {
 			}
 		}
 		n.Run(units.Millisecond)
+	}
+}
+
+// BenchmarkLinearForwardingMetrics is BenchmarkLinearForwarding with a full
+// registry (counters + occupancy series) attached — the enabled-cost
+// companion to the disabled-cost guarantee TestAllocBudget enforces.
+func BenchmarkLinearForwardingMetrics(b *testing.B) {
+	topo := topology.Linear(3, topology.DefaultLinkParams())
+	tab := routing.NewSPF(topo)
+	src, dst := topo.MustLookup("H1"), topo.MustLookup("H3")
+	path, err := tab.Path(src, dst, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := baseConfig(gfcFactory())
+		cfg.Metrics = metrics.New(metrics.Options{SeriesCap: 256})
+		n, err := New(topo, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := &Flow{ID: 1, Src: src, Dst: dst, Path: path}
+		if err := n.AddFlow(f, 0); err != nil {
+			b.Fatal(err)
+		}
+		n.Run(units.Millisecond)
+		if f.Delivered == 0 {
+			b.Fatal("no delivery")
+		}
+	}
+}
+
+// TestAllocBudget is the allocation-regression gate: with metrics disabled,
+// the two hot-path benchmarks must not allocate more per iteration than the
+// budgets set from their measured baselines (3697 and 1855 allocs/op when
+// the callbacks were pre-bound), with ~3% headroom for toolchain noise. An
+// increase here means a closure, interface box, or map crept back into the
+// refill/kick/arrive loop.
+func TestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocs/op")
+	}
+	for _, tc := range []struct {
+		name   string
+		bench  func(*testing.B)
+		budget int64
+	}{
+		{"LinearForwarding", BenchmarkLinearForwarding, 3800},
+		{"CongestedFabric", BenchmarkCongestedFabric, 1950},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := testing.Benchmark(tc.bench)
+			if got := res.AllocsPerOp(); got > tc.budget {
+				t.Errorf("%s allocates %d/op with metrics disabled, budget %d",
+					tc.name, got, tc.budget)
+			} else {
+				t.Logf("%s: %d allocs/op (budget %d)", tc.name, got, tc.budget)
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -76,6 +77,12 @@ type Config struct {
 	Escalation func(pkt *Packet, at topology.NodeID) int
 	// Trace receives observation callbacks; may be nil.
 	Trace *Trace
+	// Metrics, when non-nil, is bound to this network at construction and
+	// accumulates per-channel counters plus runtime invariant verdicts
+	// (losslessness, theorem ceilings). Every hot-path call is guarded by
+	// a single nil check, so a nil Metrics costs nothing. The registry
+	// must be fresh (unbound) and must not be shared across networks.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fillDefaults() {

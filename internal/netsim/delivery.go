@@ -31,8 +31,12 @@ func (n *Network) completeTx(p *port) {
 		// of the port it arrived on.
 		ing := p.owner.ports[pkt.arrivalPort]
 		ing.occupancy[prio] -= pkt.Size
-		ing.departed[prio] += pkt.Size
+		ing.progress[prio].departed += pkt.Size
+		ing.progress[prio].lastDepart = now
 		n.cfg.Trace.queue(now, p.owner.id, ing.local, prio, ing.occupancy[prio])
+		if reg := n.metrics; reg != nil {
+			reg.OnRelease(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio])
+		}
 		if r := ing.receivers[prio]; r != nil {
 			r.OnDeparture(pkt.Size, ing.occupancy[prio])
 		}
@@ -43,6 +47,9 @@ func (n *Network) completeTx(p *port) {
 	}
 
 	rp := n.nodes[p.peer].ports[p.peerPort]
+	if reg := n.metrics; reg != nil {
+		reg.OnTx(rp.mBase+prio, pkt.Size)
+	}
 	rp.pushInFlight(pkt)
 	n.eng.After(p.link.Delay, rp.arriveFn)
 	n.kick(p)
@@ -56,6 +63,11 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 	if nd.kind == topology.Host {
 		f := pkt.Flow
 		f.Delivered += pkt.Size
+		if reg := n.metrics; reg != nil {
+			// Hosts consume on arrival; account the delivery with a
+			// permanently empty ingress.
+			reg.OnAdmit(nd.ports[idx].mBase+pkt.Priority, now, pkt.Size, 0)
+		}
 		n.cfg.Trace.deliver(now, f, pkt)
 		if f.OnPacket != nil {
 			f.OnPacket(f, pkt)
@@ -86,11 +98,20 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 		// A lossless fabric must never get here; record and drop.
 		n.drops++
 		n.cfg.Trace.drop(now, nd.id, pkt)
+		if reg := n.metrics; reg != nil {
+			reg.OnDrop(ing.mBase+prio, now, pkt.Size, occ)
+		}
 		recyclePacket(pkt)
 		return
 	}
+	if ing.occupancy[prio] == 0 {
+		ing.progress[prio].occupiedSince = now
+	}
 	ing.occupancy[prio] = occ
 	n.cfg.Trace.queue(now, nd.id, idx, prio, occ)
+	if reg := n.metrics; reg != nil {
+		reg.OnAdmit(ing.mBase+prio, now, pkt.Size, occ)
+	}
 	if r := ing.receivers[prio]; r != nil {
 		r.OnArrival(pkt.Size, occ)
 	}

@@ -78,6 +78,13 @@ type IngressState struct {
 	// Departed is the cumulative bytes that have left this buffer; an
 	// occupied buffer whose Departed does not advance is stalled.
 	Departed units.Size
+	// LastDepartAt is when the buffer last released a packet (zero if
+	// never), and OccupiedSince when it last went from empty to occupied.
+	// max(LastDepartAt, OccupiedSince) is the start of the buffer's
+	// current no-progress interval — what the deadlock detector windows
+	// on, replacing per-poll departure deltas.
+	LastDepartAt  units.Time
+	OccupiedSince units.Time
 	// WaitsOn lists the next-hop nodes this buffer's traffic must reach:
 	// under input-queued switching, the head packet's next node (only
 	// the head can move); under output-queued disciplines, every next
@@ -106,9 +113,11 @@ func (n *Network) IngressStates() []IngressState {
 			for prio := range p.occupancy {
 				is := IngressState{
 					Node: nd.id, Port: p.local, Prio: prio,
-					From:      p.peer,
-					Occupancy: p.occupancy[prio],
-					Departed:  p.departed[prio],
+					From:          p.peer,
+					Occupancy:     p.occupancy[prio],
+					Departed:      p.progress[prio].departed,
+					LastDepartAt:  p.progress[prio].lastDepart,
+					OccupiedSince: p.progress[prio].occupiedSince,
 				}
 				addWait := func(eg *port) {
 					is.WaitsOn = append(is.WaitsOn, eg.peer)
@@ -178,11 +187,16 @@ func (n *Network) DropIngressHead(node topology.NodeID, portIdx, prio int) bool 
 	pkt := q[0]
 	ing.inq[prio] = q[1:]
 	ing.occupancy[prio] -= pkt.Size
-	ing.departed[prio] += pkt.Size
+	ing.progress[prio].departed += pkt.Size
 	n.drops++
 	now := n.eng.Now()
+	ing.progress[prio].lastDepart = now
 	n.cfg.Trace.drop(now, node, pkt)
 	n.cfg.Trace.queue(now, node, portIdx, prio, ing.occupancy[prio])
+	if reg := n.metrics; reg != nil {
+		reg.OnDrop(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio]+pkt.Size)
+		reg.OnRelease(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio])
+	}
 	if r := ing.receivers[prio]; r != nil {
 		r.OnDeparture(pkt.Size, ing.occupancy[prio])
 	}

@@ -7,6 +7,7 @@ import (
 	"github.com/gfcsim/gfc/internal/core"
 	"github.com/gfcsim/gfc/internal/eventsim"
 	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -23,6 +24,9 @@ type Network struct {
 	flows  []*Flow
 	drops  int64
 	jitter *rand.Rand // nil when FeedbackJitter is zero
+	// metrics is cfg.Metrics, cached so the hot path pays one nil check
+	// when observability is disabled.
+	metrics *metrics.Registry
 
 	feedbackBytes units.Size // total feedback wire bytes, all channels
 }
@@ -67,7 +71,7 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			p.queuedBytes = make([]units.Size, k)
 			p.txBytes = make([]units.Size, k)
 			p.occupancy = make([]units.Size, k)
-			p.departed = make([]units.Size, k)
+			p.progress = make([]ingressProgress, k)
 			p.senders = make([]flowcontrol.Sender, k)
 			p.receivers = make([]flowcontrol.Receiver, k)
 			p.buffer = cfg.BufferSize
@@ -125,6 +129,59 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			}
 		}
 	}
+	// Bind the metrics registry before receivers start: initial credit
+	// adverts already flow through Emit and must be counted. Ceilings and
+	// stage tables come from the wired senders via the optional
+	// flowcontrol.Bounded / flowcontrol.Staged interfaces.
+	if reg := cfg.Metrics; reg != nil {
+		n.metrics = reg
+		infos := make([]metrics.NodeInfo, len(n.nodes))
+		for id, nd := range n.nodes {
+			info := metrics.NodeInfo{
+				ID: nd.id, Name: topo.Node(nd.id).Name,
+				Host:  nd.kind == topology.Host,
+				Ports: make([]metrics.PortInfo, len(nd.ports)),
+			}
+			for i, p := range nd.ports {
+				info.Ports[i] = metrics.PortInfo{
+					Peer: p.peer, PeerName: topo.Node(p.peer).Name,
+					Buffer: p.buffer,
+				}
+			}
+			infos[id] = info
+		}
+		reg.Bind(infos, cfg.Priorities)
+		for _, nd := range n.nodes {
+			for _, p := range nd.ports {
+				p.mBase = reg.ChannelIndex(nd.id, p.local, 0)
+				if p.link.Failed {
+					continue
+				}
+				up := n.nodes[p.peer].ports[p.peerPort]
+				for prio := 0; prio < cfg.Priorities; prio++ {
+					s := up.senders[prio]
+					if s == nil {
+						continue
+					}
+					if b, ok := s.(flowcontrol.Bounded); ok {
+						// The final GFC stage keeps a positive rate, so
+						// under a stopped drain the queue legitimately
+						// overshoots B_m by up to the feedback latency's
+						// worth of minimum-rate trickle; four MTUs is the
+						// headroom the factories budget for exactly that.
+						ceil := b.Ceiling() + 4*cfg.MTU
+						if ceil > p.buffer {
+							ceil = p.buffer
+						}
+						reg.SetCeiling(p.mBase+prio, ceil)
+					}
+					if st, ok := s.(flowcontrol.Staged); ok {
+						reg.CheckStageTable(p.mBase+prio, st.StageTable())
+					}
+				}
+			}
+		}
+	}
 	// Start receivers (periodic feedback, initial credit adverts).
 	for _, nd := range n.nodes {
 		for _, p := range nd.ports {
@@ -167,6 +224,9 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 	wire := m.Wire()
 	n.feedbackBytes += wire
 	n.cfg.Trace.feedback(n.eng.Now(), e.down.owner.id, e.up.owner.id, e.prio, wire)
+	if reg := n.metrics; reg != nil {
+		reg.OnFeedback(e.down.mBase+e.prio, n.eng.Now(), feedbackClass(m.Kind), m.Stage, wire)
+	}
 	delay := units.TransmissionTime(wire, e.down.capacity) +
 		e.down.link.Delay + n.cfg.ProcDelay
 	if n.jitter != nil {
@@ -183,8 +243,27 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 	})
 }
 
+// feedbackClass buckets a flow-control message kind for metrics accounting.
+func feedbackClass(k flowcontrol.Kind) metrics.FeedbackClass {
+	switch k {
+	case flowcontrol.KindPause:
+		return metrics.FeedbackPause
+	case flowcontrol.KindResume:
+		return metrics.FeedbackResume
+	case flowcontrol.KindStage:
+		return metrics.FeedbackStage
+	case flowcontrol.KindCredit:
+		return metrics.FeedbackCredit
+	default:
+		return metrics.FeedbackQueue
+	}
+}
+
 // Engine exposes the event engine (for custom experiment events).
 func (n *Network) Engine() *eventsim.Engine { return n.eng }
+
+// Metrics returns the bound metrics registry, or nil when disabled.
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
 
 // Topology returns the simulated topology.
 func (n *Network) Topology() *topology.Topology { return n.topo }

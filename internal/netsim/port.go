@@ -36,16 +36,16 @@ type port struct {
 	busy        bool
 	senders     []flowcontrol.Sender
 	rr          int
-	wrrCredit   []int // weighted-RR packet credits per priority (nil: equal)
+	wrrCredit   []int        // weighted-RR packet credits per priority (nil: equal)
 	txBytes     []units.Size // per priority, cumulative data serialised
 
 	// Pre-bound event callbacks, created once at network construction so
 	// the hot path schedules stored funcs instead of allocating a fresh
 	// closure per kick, transmission and arrival.
-	kickFn    func() // wake-up timer: retry a flow-control-blocked egress
-	txDoneFn  func() // transmission completion for the in-flight packet
-	arriveFn  func() // link-delay arrival at the *receiving* end (this port)
-	kickAt    units.Time    // when the pending kick timer fires; Never if none
+	kickFn    func()     // wake-up timer: retry a flow-control-blocked egress
+	txDoneFn  func()     // transmission completion for the in-flight packet
+	arriveFn  func()     // link-delay arrival at the *receiving* end (this port)
+	kickAt    units.Time // when the pending kick timer fires; Never if none
 	kickEv    eventsim.Event
 	txPkt     *Packet // the single in-flight transmission (guarded by busy)
 	txPrio    int
@@ -55,13 +55,32 @@ type port struct {
 
 	// Ingress state.
 	occupancy []units.Size
-	departed  []units.Size // per priority, cumulative bytes released
+	// progress holds the per-priority forwarding-progress counters (one
+	// slice, one allocation — this sits on the per-network construction
+	// path the alloc benchmarks budget).
+	progress  []ingressProgress
 	receivers []flowcontrol.Receiver
 	buffer    units.Size
+	// mBase is the metrics channel index of (this port, priority 0); the
+	// hot path indexes the registry with mBase+prio. Unused (0) when
+	// metrics are disabled.
+	mBase int
 	// inq is the per-priority ingress FIFO used by SchedInputQueued at
 	// switches: packets wait here until their egress can take them, with
 	// head-of-line blocking.
 	inq [][]*Packet
+}
+
+// ingressProgress is one priority's forwarding-progress record: cumulative
+// bytes released, and the lastDepart / occupiedSince timestamps — when the
+// buffer last released a packet and when it last went from empty to
+// occupied. Together they let the deadlock detector decide "no progress for
+// a window" from one snapshot instead of keeping its own departure-delta
+// maps.
+type ingressProgress struct {
+	departed      units.Size
+	lastDepart    units.Time
+	occupiedSince units.Time
 }
 
 func (p *port) totalQueued() int { return p.queuedPkts }

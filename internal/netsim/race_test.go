@@ -1,0 +1,7 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation inflates allocs/op, so the alloc-budget gate skips.
+const raceEnabled = true

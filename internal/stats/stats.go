@@ -13,11 +13,24 @@ import (
 	"github.com/gfcsim/gfc/internal/units"
 )
 
-// BinCounter accumulates byte counts into fixed-width time bins.
+// BinCounter accumulates byte counts into fixed-width time bins. Samples at
+// negative times clamp into the first bin, and samples at or beyond
+// MaxBins·Width clamp into the last — the bin slice grows with the largest
+// timestamp seen, so without the cap a single far-future sample would
+// allocate unboundedly.
 type BinCounter struct {
 	Width units.Time
-	bins  []units.Size
+	// MaxBins bounds sparse growth: zero means DefaultMaxBins, negative
+	// means unbounded (caller guarantees dense timestamps).
+	MaxBins   int
+	bins      []units.Size
+	saturated bool
 }
+
+// DefaultMaxBins caps a counter at 2^20 bins (8 MiB of counts) unless the
+// caller chooses otherwise — far beyond any simulated duration at the 100 µs
+// and 500 µs widths the experiments use.
+const DefaultMaxBins = 1 << 20
 
 // NewBinCounter returns a counter with the given bin width.
 func NewBinCounter(width units.Time) *BinCounter {
@@ -29,12 +42,34 @@ func NewBinCounter(width units.Time) *BinCounter {
 
 // Add records s bytes at time t.
 func (b *BinCounter) Add(t units.Time, s units.Size) {
+	if t < 0 {
+		t = 0 // pre-start samples land in the first bin
+	}
 	idx := int(t / b.Width)
+	if max := b.maxBins(); max > 0 && idx >= max {
+		idx = max - 1
+		b.saturated = true
+	}
 	for len(b.bins) <= idx {
 		b.bins = append(b.bins, 0)
 	}
 	b.bins[idx] += s
 }
+
+func (b *BinCounter) maxBins() int {
+	switch {
+	case b.MaxBins > 0:
+		return b.MaxBins
+	case b.MaxBins < 0:
+		return 0
+	default:
+		return DefaultMaxBins
+	}
+}
+
+// Saturated reports whether any sample was clamped into the final bin
+// because it fell at or beyond the MaxBins horizon.
+func (b *BinCounter) Saturated() bool { return b.saturated }
 
 // Bins returns the per-bin byte counts.
 func (b *BinCounter) Bins() []units.Size { return b.bins }
@@ -119,11 +154,17 @@ func (s *Series) MeanAfter(t units.Time) float64 {
 }
 
 // Downsample returns a copy keeping at most max evenly spaced points, for
-// plotting.
+// plotting. Non-positive max (or a series already within budget) copies the
+// series unchanged; max == 1 keeps the final point — the series' most recent
+// state, the one useful single-sample summary.
 func (s *Series) Downsample(max int) *Series {
 	if max <= 0 || s.Len() <= max {
 		out := &Series{T: append([]units.Time(nil), s.T...), V: append([]float64(nil), s.V...)}
 		return out
+	}
+	if max == 1 {
+		last := s.Len() - 1
+		return &Series{T: []units.Time{s.T[last]}, V: []float64{s.V[last]}}
 	}
 	out := &Series{}
 	step := float64(s.Len()-1) / float64(max-1)

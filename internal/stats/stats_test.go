@@ -47,6 +47,47 @@ func TestBinCounterSparse(t *testing.T) {
 	}
 }
 
+// Regression: negative timestamps used to index bins[-1] and panic; they
+// must clamp into the first bin.
+func TestBinCounterNegativeTime(t *testing.T) {
+	b := NewBinCounter(units.Millisecond)
+	b.Add(-5*units.Millisecond, 100)
+	b.Add(-1, 50)
+	b.Add(0, 25)
+	if got := b.Bins()[0]; got != 175 {
+		t.Fatalf("bin 0 = %v, want 175", got)
+	}
+	if b.Saturated() {
+		t.Error("negative clamp must not mark saturation")
+	}
+}
+
+// Regression: a single far-future timestamp used to grow the bin slice
+// unboundedly; it must clamp into the final bin and flag saturation.
+func TestBinCounterFarFutureCapped(t *testing.T) {
+	b := NewBinCounter(units.Millisecond)
+	b.MaxBins = 100
+	b.Add(units.Time(1e18), 7)
+	if got := len(b.Bins()); got != 100 {
+		t.Fatalf("bins = %d, want 100", got)
+	}
+	if got := b.Bins()[99]; got != 7 {
+		t.Fatalf("final bin = %v, want 7", got)
+	}
+	if !b.Saturated() {
+		t.Error("clamped sample did not mark saturation")
+	}
+	// The default cap protects zero-value configs too.
+	d := NewBinCounter(units.Nanosecond)
+	d.Add(units.Time(1e18), 1)
+	if got := len(d.Bins()); got != DefaultMaxBins {
+		t.Fatalf("default-capped bins = %d, want %d", got, DefaultMaxBins)
+	}
+	if !d.Saturated() {
+		t.Error("default cap did not mark saturation")
+	}
+}
+
 func TestBinCounterBadWidth(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -91,6 +132,42 @@ func TestSeriesDownsample(t *testing.T) {
 	small := s.Downsample(2000)
 	if small.Len() != 1000 {
 		t.Fatal("small downsample changed length")
+	}
+}
+
+// Regression: Downsample(1) used to divide by zero (step = (Len−1)/0 →
+// +Inf) and panic indexing with the resulting huge j. Boundary-check every
+// max around the series length.
+func TestSeriesDownsampleBoundaries(t *testing.T) {
+	var s Series
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Append(units.Time(i), float64(i))
+	}
+	cases := []struct {
+		max, wantLen int
+	}{
+		{0, n},     // non-positive: unchanged copy
+		{1, 1},     // used to panic
+		{2, 2},     // endpoints
+		{n, n},     // exactly fits
+		{n + 1, n}, // already within budget
+	}
+	for _, c := range cases {
+		d := s.Downsample(c.max)
+		if d.Len() != c.wantLen {
+			t.Errorf("Downsample(%d).Len() = %d, want %d", c.max, d.Len(), c.wantLen)
+		}
+	}
+	if d := s.Downsample(1); d.T[0] != n-1 || d.V[0] != n-1 {
+		t.Errorf("Downsample(1) = (%v, %v), want the final point", d.T[0], d.V[0])
+	}
+	if d := s.Downsample(2); d.T[0] != 0 || d.T[1] != n-1 {
+		t.Errorf("Downsample(2) endpoints = %v, %v", d.T[0], d.T[1])
+	}
+	var empty Series
+	if d := empty.Downsample(1); d.Len() != 0 {
+		t.Errorf("empty Downsample(1).Len() = %d", d.Len())
 	}
 }
 
