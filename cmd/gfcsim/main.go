@@ -7,8 +7,8 @@
 //	gfcsim -exp <experiment> [flags]
 //
 // Experiments: fig5, fig9, fig10, fig12, fig13, fig14, fig15, table1,
-// fig16, fig17, fig18, fig19, fig20. See EXPERIMENTS.md for what each
-// reports and how it maps to the paper.
+// fig16, fig17, fig18, fig19, fig20, faults. See EXPERIMENTS.md for what
+// each reports and how it maps to the paper.
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/gfcsim/gfc/internal/experiments"
+	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
 	"github.com/gfcsim/gfc/internal/viz"
@@ -36,6 +37,8 @@ var (
 	chart      = flag.Bool("chart", false, "render time series as ASCII charts")
 	metricsOut = flag.String("metrics-out", "",
 		"write per-channel metrics reports (JSON, or CSV when the path ends in .csv)\nand fail on invariant violations; supported by fig9/fig10/fig12/fig13/fig14")
+	faultSpec = flag.String("faults", "",
+		"fault scenario: a preset name (resume-loss, feedback-loss, feedback-delay,\nflap, degrade) or a path to a JSON spec file; applies to fig9/fig10 and the\nfaults matrix (deterministic per -seed)")
 )
 
 // sink gathers the per-run metrics registries when -metrics-out is set; nil
@@ -73,6 +76,8 @@ func main() {
 		err = runOverhead()
 	case "fig20":
 		err = runFig20()
+	case "faults":
+		err = runFaultMatrix()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
@@ -130,13 +135,33 @@ func runFig5() error {
 }
 
 func runRing(pause, gentle experiments.FC) error {
-	fmt.Printf("Figures 9/10: 3-switch ring, testbed parameters (1MB buffers, τ=90µs)\n\n")
-	fmt.Println("(a) deadlock formation regime (2 hosts/switch):")
+	spec, err := loadFaultSpec()
+	if err != nil {
+		return err
+	}
+	// ringFaults compiles the -faults scenario against the exact ring the
+	// section simulates; nil when no scenario was requested.
+	ringFaults := func(hostsPerSwitch int) (*faults.Plan, error) {
+		if spec == nil {
+			return nil, nil
+		}
+		return spec.Compile(experiments.RingTopology(hostsPerSwitch))
+	}
+	fmt.Printf("Figures 9/10: 3-switch ring, testbed parameters (1MB buffers, τ=90µs)\n")
+	if spec != nil {
+		fmt.Printf("with injected faults: %s (seed %d)\n", spec.Name, *seed)
+	}
+	fmt.Println("\n(a) deadlock formation regime (2 hosts/switch):")
+	plan, err := ringFaults(2)
+	if err != nil {
+		return err
+	}
 	for _, fc := range []experiments.FC{pause, gentle} {
 		reg := sink.registry()
 		d := dur(200 * units.Millisecond)
 		res, err := experiments.RunRing(experiments.RingConfig{
 			FC: fc, Duration: d, HostsPerSwitch: 2, Metrics: reg,
+			Faults: plan, FaultSeed: *seed,
 		})
 		if err != nil {
 			return err
@@ -144,25 +169,79 @@ func runRing(pause, gentle experiments.FC) error {
 		sink.record("ring-formation-"+string(fc), reg, d)
 		verdict := "no deadlock"
 		if res.Deadlocked {
-			verdict = fmt.Sprintf("DEADLOCK at %v", res.DeadlockAt)
+			verdict = fmt.Sprintf("DEADLOCK (%v) at %v", res.DeadlockKind, res.DeadlockAt)
 		}
-		fmt.Printf("  %-12s %-22s drops=%d\n", fc, verdict, res.Drops)
+		fmt.Printf("  %-12s %-34s drops=%d%s\n", fc, verdict, res.Drops, faultNote(res))
 	}
 	fmt.Println("\n(b) steady state, critically loaded (1 host/switch):")
+	if plan, err = ringFaults(1); err != nil {
+		return err
+	}
 	for _, fc := range []experiments.FC{pause, gentle} {
 		reg := sink.registry()
 		d := dur(60 * units.Millisecond)
-		res, err := experiments.RunRing(experiments.RingConfig{
+		cfg := experiments.RingConfig{
 			FC: fc, Duration: d, Metrics: reg,
-		})
+			Faults: plan, FaultSeed: *seed,
+		}
+		if plan != nil && fc == experiments.GFCBuf {
+			// Loss repair under faulted feedback, as in the matrix.
+			cfg.Refresh = 90 * units.Microsecond
+		}
+		res, err := experiments.RunRing(cfg)
 		if err != nil {
 			return err
 		}
 		sink.record("ring-steady-"+string(fc), reg, d)
-		fmt.Printf("  %-12s steady queue %-9v steady rate %-9v (paper GFC: ≈840KB/5G buffer-based, ≈745KB/5G time-based)\n",
-			fc, res.SteadyQueue, res.SteadyRate)
+		fmt.Printf("  %-12s steady queue %-9v steady rate %-9v (paper GFC: ≈840KB/5G buffer-based, ≈745KB/5G time-based)%s\n",
+			fc, res.SteadyQueue, res.SteadyRate, faultNote(res))
 		printSeries(string(fc)+" queue", res.Queue, 60)
 	}
+	return nil
+}
+
+// loadFaultSpec resolves the -faults flag: empty means none, a value with
+// path-ish characters is a JSON spec file, anything else a preset name.
+func loadFaultSpec() (*faults.Spec, error) {
+	if *faultSpec == "" {
+		return nil, nil
+	}
+	if strings.ContainsAny(*faultSpec, "./\\") {
+		return faults.Load(*faultSpec)
+	}
+	return faults.Preset(*faultSpec)
+}
+
+// faultNote renders a run's injected-fault counters; empty for clean runs.
+func faultNote(res *experiments.RingResult) string {
+	s := res.FaultStats
+	if s == (faults.Stats{}) {
+		return ""
+	}
+	return fmt.Sprintf("  [feedback dropped=%d delayed=%d]", s.FeedbackDropped, s.FeedbackDelayed)
+}
+
+func runFaultMatrix() error {
+	cfg := experiments.FaultMatrixConfig{
+		Duration: dur(60 * units.Millisecond),
+		Seed:     *seed,
+	}
+	if *faultSpec != "" {
+		// The matrix compiles presets by name; restrict the columns to the
+		// requested scenario (plus the clean baseline for contrast).
+		if _, err := faults.Preset(*faultSpec); err != nil {
+			return fmt.Errorf("-exp faults wants a preset name in -faults: %w", err)
+		}
+		cfg.Scenarios = []string{experiments.CleanScenario, *faultSpec}
+	}
+	cells, err := experiments.RunFaultMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fault matrix: scheme × scenario on the critically loaded fig9 ring")
+	fmt.Print(experiments.FaultMatrixRows(cells).String())
+	fmt.Println("(resume-loss wedges PFC shut — one lost RESUME is a permanent pause — while both GFC")
+	fmt.Println(" variants keep every flow progressing, lossless, under every scenario)")
 	return nil
 }
 

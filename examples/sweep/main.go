@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 
 	gfc "github.com/gfcsim/gfc"
 	"github.com/gfcsim/gfc/internal/runner"
@@ -28,7 +29,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scenarios simulated concurrently")
 	metricsOut := flag.String("metrics-out", "", "write per-scheme merged metrics summaries (JSON)")
+	faultsFlag := flag.String("faults", "", "fault scenario: a preset name or a JSON spec file path,\ninjected into every simulated run (deterministic per -seed)")
 	flag.Parse()
+
+	var faultSpec *gfc.FaultSpec
+	if *faultsFlag != "" {
+		var err error
+		if strings.ContainsAny(*faultsFlag, "./\\") {
+			faultSpec, err = gfc.LoadFaultSpec(*faultsFlag)
+		} else {
+			faultSpec, err = gfc.FaultPreset(*faultsFlag)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
 
 	type scheme struct {
 		name    string
@@ -62,6 +77,15 @@ func main() {
 			if !gfc.CBDFromAllPairs(topo, tab, gfc.EdgeRacks(topo)).HasCycle() {
 				return outcome{}, nil // statically CBD-free: cannot deadlock
 			}
+			// Compile the fault scenario against this scenario's topology
+			// (the failed-link sets differ), once for all schemes/repeats.
+			var faultPlan *gfc.FaultPlan
+			if faultSpec != nil {
+				var err error
+				if faultPlan, err = faultSpec.Compile(topo); err != nil {
+					return outcome{}, err
+				}
+			}
 			out := outcome{
 				prone:   true,
 				dead:    make([]bool, len(schemes)),
@@ -73,11 +97,15 @@ func main() {
 					if wantMetrics {
 						reg = gfc.NewMetricsRegistry(gfc.MetricsOptions{})
 					}
-					sim, err := gfc.NewSimulation(topo, gfc.Options{
+					opt := gfc.Options{
 						BufferSize:  300 * gfc.KB,
 						FlowControl: s.factory,
 						Metrics:     reg,
-					})
+					}
+					if faultPlan != nil {
+						opt.Faults = faultPlan.NewInjector(*seed*1000 + int64(i*(*repeats)+r))
+					}
+					sim, err := gfc.NewSimulation(topo, opt)
 					if err != nil {
 						return outcome{}, err
 					}
@@ -125,6 +153,9 @@ func main() {
 		fmt.Printf("scenario %d/%d is CBD-prone (%d so far)\n", i+1, *networks, prone)
 	}
 	fmt.Printf("\nk=%d: %d scenarios scanned, %d CBD-prone\n", *k, *networks, prone)
+	if faultSpec != nil {
+		fmt.Printf("injected faults: %s\n", faultSpec.Name)
+	}
 	fmt.Println("Deadlock cases (any repeat deadlocked):")
 	for si, s := range schemes {
 		fmt.Printf("  %-12s %d\n", s.name, deadlocks[si])

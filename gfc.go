@@ -13,6 +13,9 @@
 //   - topology builders (rings, fat-trees, dumbbells), shortest-path
 //     routing, cyclic-buffer-dependency analysis and a runtime deadlock
 //     detector;
+//   - a deterministic, seeded fault-injection layer (feedback loss, delay
+//     and reordering, link flaps, capacity degradation, arrival
+//     perturbations) for robustness studies;
 //   - the DCQCN congestion control for interaction studies; and
 //   - drivers reproducing every table and figure of the paper's evaluation
 //     (see the EXPERIMENTS.md of this repository).
@@ -36,6 +39,7 @@ import (
 	"github.com/gfcsim/gfc/internal/core"
 	"github.com/gfcsim/gfc/internal/dcqcn"
 	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/fluid"
 	"github.com/gfcsim/gfc/internal/metrics"
@@ -261,8 +265,20 @@ type (
 	DeadlockDetector = deadlock.Detector
 	// DeadlockReport describes a detected deadlock.
 	DeadlockReport = deadlock.Report
+	// DeadlockKind distinguishes the detector's verdicts.
+	DeadlockKind = deadlock.Kind
 	// CBDGraph is the static cyclic-buffer-dependency graph.
 	CBDGraph = cbd.Graph
+)
+
+// Deadlock verdicts.
+const (
+	// DeadlockCircularWait is the classic cycle of mutually waiting
+	// buffers (§2.1).
+	DeadlockCircularWait = deadlock.CircularWait
+	// DeadlockWedgedChannel is a fault-induced permanent stall: a lost
+	// release signal (PFC RESUME, CBFC credit) holding a channel shut.
+	DeadlockWedgedChannel = deadlock.WedgedChannel
 )
 
 // Deadlock and CBD constructors.
@@ -273,6 +289,44 @@ var (
 	NewCBDGraph = cbd.NewGraph
 	// CBDFromAllPairs builds the dependency graph of all host pairs.
 	CBDFromAllPairs = cbd.FromAllPairs
+)
+
+// Fault injection (deterministic, seeded fault scenarios). Compile a
+// FaultSpec against a topology once, then bind one FaultInjector per
+// simulation via Options.Faults: the same (plan, seed) pair replays
+// bit-identically regardless of what else runs in the process.
+type (
+	// FaultSpec is a declarative fault scenario (JSON-serialisable).
+	FaultSpec = faults.Spec
+	// LinkFault is the fault plan of one link pattern.
+	LinkFault = faults.LinkFault
+	// FeedbackFault drops, delays or reorders flow-control messages.
+	FeedbackFault = faults.FeedbackFault
+	// LinkFlap takes a link administratively down and back up.
+	LinkFlap = faults.Flap
+	// LinkDegrade runs a link at a fraction of its capacity for a window.
+	LinkDegrade = faults.Degrade
+	// HostFault perturbs a host's arrivals (bursts, delayed flow onsets).
+	HostFault = faults.HostFault
+	// FaultPlan is a spec compiled against one topology (immutable,
+	// shareable across runs).
+	FaultPlan = faults.Plan
+	// FaultInjector executes a plan for one simulation (Options.Faults).
+	FaultInjector = faults.Injector
+	// FaultStats counts what an injector actually did.
+	FaultStats = faults.Stats
+)
+
+// Fault-injection constructors.
+var (
+	// ParseFaultSpec decodes a JSON scenario.
+	ParseFaultSpec = faults.Parse
+	// LoadFaultSpec reads a JSON scenario file.
+	LoadFaultSpec = faults.Load
+	// FaultPreset returns a named built-in scenario (see FaultPresetNames).
+	FaultPreset = faults.Preset
+	// FaultPresetNames lists the built-in scenario names.
+	FaultPresetNames = faults.PresetNames
 )
 
 // Workloads.

@@ -1,0 +1,76 @@
+package core_test
+
+// Fuzz harness for the stage-table construction: any parameter set the
+// constructor accepts must produce a table that passes the full structural
+// validation (positive, non-increasing rates; strictly ascending thresholds
+// below B_m; StageFor exact at every boundary) and a monotone queue→stage
+// mapping. The external test package lets the harness reuse
+// metrics.ValidateStageTable — the same validator runs attach to live
+// simulations — without an import cycle.
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+func FuzzStageTable(f *testing.F) {
+	// The parameterisations the repo actually runs, plus boundary probes.
+	f.Add(int64(10_000_000_000), int64(994_000), int64(750_000), 0.5, int64(800_000))  // testbed
+	f.Add(int64(10_000_000_000), int64(294_000), int64(275_000), 0.5, int64(100_000))  // §6.2.2 sim
+	f.Add(int64(10_000_000_000), int64(294_000), int64(153_000), 0.75, int64(294_000)) // max ratio
+	f.Add(int64(8_000), int64(1_000_000), int64(1), 0.5, int64(0))                     // tiny capacity
+	f.Add(int64(1), int64(2), int64(1), 0.5, int64(3))                                 // degenerate
+	f.Add(int64(400_000_000_000), int64(9_000_000_000), int64(10_000), 0.1, int64(42)) // deep table
+
+	f.Fuzz(func(t *testing.T, c, bm, b1 int64, ratio float64, q int64) {
+		table, err := core.NewStageTableRatio(units.Rate(c), units.Size(bm), units.Size(b1), ratio)
+		if err != nil {
+			t.Skip() // rejected parameters are fine; accepted ones must be sound
+		}
+		if err := metrics.ValidateStageTable(table); err != nil {
+			t.Fatalf("accepted table fails validation: %v\n(c=%d bm=%d b1=%d ratio=%v)",
+				err, c, bm, b1, ratio)
+		}
+
+		// The queue→stage mapping must be monotone and anchored: an empty
+		// queue is stage 0 at line rate, and deeper queues never map to a
+		// shallower stage or a faster rate.
+		if s := table.StageFor(0); s != 0 {
+			t.Fatalf("StageFor(0) = %d", s)
+		}
+		if r := table.RateFor(0); r != units.Rate(c) {
+			t.Fatalf("RateFor(0) = %v, want line rate %v", r, units.Rate(c))
+		}
+		probes := []units.Size{0, units.Size(b1) - 1, units.Size(b1), units.Size(bm), 2 * units.Size(bm)}
+		for k := 1; k <= table.Stages(); k++ {
+			thr := table.Threshold(k)
+			probes = append(probes, thr-1, thr, thr+1)
+		}
+		if q >= 0 {
+			probes = append(probes, units.Size(q)%(2*units.Size(bm)))
+		}
+		// Monotonicity over every ordered probe pair.
+		for _, a := range probes {
+			for _, b := range probes {
+				if a > b {
+					continue
+				}
+				sa, sb := table.StageFor(a), table.StageFor(b)
+				if sa > sb {
+					t.Fatalf("StageFor not monotone: StageFor(%v)=%d > StageFor(%v)=%d", a, sa, b, sb)
+				}
+				if ra, rb := table.RateFor(a), table.RateFor(b); ra < rb {
+					t.Fatalf("RateFor not antitone: RateFor(%v)=%v < RateFor(%v)=%v", a, ra, b, rb)
+				}
+			}
+		}
+		// The gentle guarantee: even past B_m the rate floor stays
+		// positive — GFC slows, it never stops.
+		if r := table.RateFor(2 * units.Size(bm)); r <= 0 {
+			t.Fatalf("deepest rate %v not positive: the mapping stops instead of slowing", r)
+		}
+	})
+}

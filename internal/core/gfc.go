@@ -147,8 +147,13 @@ func NewStageTableRatio(c units.Rate, bm, b1 units.Size, ratio float64) (*StageT
 	if b1 <= 0 || b1 >= bm {
 		return nil, fmt.Errorf("core: need 0 < B1 (%v) < Bm (%v)", b1, bm)
 	}
-	if ratio <= 0 || ratio > 0.75 {
+	// The negated form rejects NaN (every comparison with NaN is false,
+	// so `ratio <= 0` would wave it through).
+	if !(ratio > 0 && ratio <= 0.75) {
 		return nil, fmt.Errorf("core: stage ratio %v outside (0, 3/4] (equation 3)", ratio)
+	}
+	if float64(c)*ratio < 1 {
+		return nil, fmt.Errorf("core: capacity %v too small for a staged mapping (first stage rate would round below 1 b/s)", c)
 	}
 	t := &StageTable{C: c, Bm: bm}
 	span := float64(bm - b1)
@@ -159,9 +164,11 @@ func NewStageTableRatio(c units.Rate, bm, b1 units.Size, ratio float64) (*StageT
 		rate *= ratio
 		t.thresholds = append(t.thresholds, thr)
 		t.rates = append(t.rates, units.Rate(rate))
-		// Stop once the next stage would be shorter than a byte.
+		// Stop once the next stage would be shorter than a byte — or its
+		// rate would round to zero, which would turn the gentle floor
+		// into a full stop (the very failure mode GFC exists to avoid).
 		next := bm - units.Size(span*scale*ratio)
-		if next-thr < minStageLen || k >= 100 {
+		if next-thr < minStageLen || k >= 100 || rate*ratio < 1 {
 			break
 		}
 		scale *= ratio

@@ -10,10 +10,21 @@ package deadlock
 import (
 	"sort"
 
+	"github.com/gfcsim/gfc/internal/eventsim"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 )
+
+// Network is the observational slice of netsim.Network the detector needs.
+// Taking an interface keeps the stall predicate unit-testable against
+// synthetic snapshots (the false-positive regressions around link flaps are
+// timing-dependent and near-impossible to stage reliably end-to-end).
+type Network interface {
+	Now() units.Time
+	IngressStates() []netsim.IngressState
+	Engine() *eventsim.Engine
+}
 
 // ChannelKey identifies one ingress buffer: the directed channel From→Node
 // at a priority.
@@ -23,14 +34,51 @@ type ChannelKey struct {
 	Prio int
 }
 
-// Report describes a detected deadlock.
+// Kind distinguishes the two permanent-standstill shapes the detector
+// reports.
+type Kind uint8
+
+const (
+	// CircularWait is the classic deadlock of §2.1: a cycle of occupied
+	// buffers, each waiting on the next.
+	CircularWait Kind = iota
+	// WedgedChannel is a fault-induced permanent stall: a channel held at
+	// rate zero by flow control whose downstream buffer — the only
+	// legitimate holder of that backpressure — has long been empty. The
+	// release signal (PFC RESUME, CBFC credit) was lost in flight, so the
+	// hold never clears and everything upstream of the wedged channel
+	// freezes into a stalled chain rather than a cycle.
+	WedgedChannel
+)
+
+func (k Kind) String() string {
+	if k == WedgedChannel {
+		return "wedged-channel"
+	}
+	return "circular-wait"
+}
+
+// Wedge identifies a wedged channel: the stalled ingress buffer and the
+// next-hop node its zero-rate egress points at (the channel
+// Ingress.Node→Via is the one flow control holds shut).
+type Wedge struct {
+	Ingress ChannelKey
+	Via     topology.NodeID
+}
+
+// Report describes a detected permanent standstill.
 type Report struct {
 	// At is the simulation time of detection.
 	At units.Time
+	// Kind says whether the standstill is a circular wait or a wedged
+	// channel.
+	Kind Kind
 	// Cycle is one cycle of mutually waiting ingress buffers, in order:
-	// each element's traffic waits on the next.
+	// each element's traffic waits on the next (CircularWait only).
 	Cycle []ChannelKey
-	// StallFor is how long the cycle's buffers had been stalled at
+	// Wedged describes the held-shut channel (WedgedChannel only).
+	Wedged *Wedge
+	// StallFor is how long the reported buffers had been stalled at
 	// detection.
 	StallFor units.Time
 }
@@ -45,7 +93,7 @@ type Report struct {
 // counters the metrics registry exports), so a single snapshot decides
 // stall, in the spirit of counter-based in-network detection (DCFIT).
 type Detector struct {
-	net *netsim.Network
+	net Network
 	// Window is how long a buffer must hold bytes without progress to
 	// count as stalled; default 5 ms.
 	Window units.Time
@@ -56,7 +104,7 @@ type Detector struct {
 }
 
 // NewDetector returns a detector over n with default window and interval.
-func NewDetector(n *netsim.Network) *Detector {
+func NewDetector(n Network) *Detector {
 	return &Detector{
 		net:      n,
 		Window:   5 * units.Millisecond,
@@ -95,7 +143,11 @@ func (d *Detector) Check() *Report {
 	// the later of the last departure and the moment it became occupied),
 	// AND every channel it waits on is blocked with zero permitted rate —
 	// a positive rate means hold-and-wait is broken and the buffer will
-	// drain, however slowly (the GFC regime).
+	// drain, however slowly (the GFC regime). A wait on an
+	// administratively-down egress is likewise excluded: a link outage is
+	// a transient condition that resolves when the link returns, not a
+	// flow-control hold — counting it would report every flap on a ring
+	// as a deadlock.
 	stalled := make(map[ChannelKey]netsim.IngressState)
 	stallStart := make(map[ChannelKey]units.Time)
 	for _, is := range states {
@@ -103,8 +155,8 @@ func (d *Detector) Check() *Report {
 			continue
 		}
 		blockedForever := len(is.WaitRates) > 0
-		for _, r := range is.WaitRates {
-			if r > 0 {
+		for i, r := range is.WaitRates {
+			if r > 0 || is.WaitsDown[i] {
 				blockedForever = false
 				break
 			}
@@ -175,7 +227,7 @@ func (d *Detector) Check() *Report {
 		}
 	}
 	if cycFrom == nil {
-		return nil
+		return d.checkWedge(now, states, keys, stalled, stallStart)
 	}
 	var rev []ChannelKey
 	for u := *cycFrom; ; u = parent[u] {
@@ -194,8 +246,57 @@ func (d *Detector) Check() *Report {
 			stallFor = s
 		}
 	}
-	d.report = &Report{At: now, Cycle: cycle, StallFor: stallFor}
+	d.report = &Report{At: now, Kind: CircularWait, Cycle: cycle, StallFor: stallFor}
 	return d.report
+}
+
+// checkWedge looks for a fault-induced permanent stall that forms a chain
+// instead of a cycle. Lossless flow control only holds an egress at rate
+// zero while the downstream ingress buffer it protects is (near-)full —
+// that buffer is the holder of the backpressure, and draining it is what
+// releases the hold. A stalled buffer waiting on a zero-rate,
+// administratively-up egress whose holder has been empty and idle for a
+// full window is therefore wedged: the release signal (RESUME, credit) was
+// lost in flight and will never be re-sent, because re-emission is
+// edge-triggered on a queue the loss left permanently quiet. Transient
+// holds never look like this — an in-flight release clears within a
+// feedback latency, far inside the window — and GFC cannot produce the
+// shape at all, since its rates never reach zero.
+func (d *Detector) checkWedge(
+	now units.Time, states []netsim.IngressState, keys []ChannelKey,
+	stalled map[ChannelKey]netsim.IngressState, stallStart map[ChannelKey]units.Time,
+) *Report {
+	byKey := make(map[ChannelKey]netsim.IngressState, len(states))
+	for _, is := range states {
+		byKey[ChannelKey{From: is.From, Node: is.Node, Prio: is.Prio}] = is
+	}
+	for _, key := range keys {
+		is := stalled[key]
+		for i, w := range is.WaitsOn {
+			if is.WaitRates[i] > 0 || is.WaitsDown[i] {
+				continue
+			}
+			holder, ok := byKey[ChannelKey{From: key.Node, Node: w, Prio: key.Prio}]
+			if !ok || holder.Occupancy > 0 {
+				continue // host-facing or still legitimately held
+			}
+			idle := holder.LastDepartAt
+			if holder.OccupiedSince > idle {
+				idle = holder.OccupiedSince
+			}
+			if now-idle < d.Window {
+				continue
+			}
+			d.report = &Report{
+				At:       now,
+				Kind:     WedgedChannel,
+				Wedged:   &Wedge{Ingress: key, Via: w},
+				StallFor: now - stallStart[key],
+			}
+			return d.report
+		}
+	}
+	return nil
 }
 
 func less(a, b ChannelKey) bool {

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/fluid"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// The differential scenario: a chain H1 —10G— S1 —10G— S2 —5G— H2. The 5G
+// drain link makes the S2←S1 ingress the single controlled queue, which is
+// exactly what internal/fluid integrates: a GFC-mapped arrival rate against
+// a constant drain. The packet simulation and the fluid model are
+// independent implementations of the same dynamics, so their steady-state
+// occupancies must agree to within the discretisation error — a band that
+// scales with the MTU (packet quantisation) plus the rate mismatch accrued
+// over the feedback-latency uncertainty.
+type diffCase struct {
+	name string
+	mtu  units.Size
+	// extraDelay is a deterministic fault-injected feedback delay; the
+	// fluid model receives the same delay as extra Tau.
+	extraDelay units.Time
+}
+
+// diffNetsimSteady runs the packet simulation and returns the steady
+// S2←S1 ingress occupancy (mean of the final quarter of 20 ms).
+func diffNetsimSteady(t *testing.T, c diffCase, b1, bm units.Size) units.Size {
+	t.Helper()
+	topo := topology.New("diff-chain")
+	h1 := topo.AddHost("H1")
+	s1 := topo.AddSwitch("S1")
+	s2 := topo.AddSwitch("S2")
+	h2 := topo.AddHost("H2")
+	lp := topology.DefaultLinkParams()
+	topo.AddLink(h1, s1, lp.Capacity, lp.Delay)
+	topo.AddLink(s1, s2, lp.Capacity, lp.Delay)
+	topo.AddLink(s2, h2, lp.Capacity/2, lp.Delay) // the 5G drain
+
+	cfg := netsim.Config{
+		MTU:        c.mtu,
+		BufferSize: 1000 * units.KB,
+		Tau:        90 * units.Microsecond,
+		FlowControl: flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{
+			B1: b1, Bm: bm,
+		}),
+	}
+	if c.extraDelay > 0 {
+		spec := &faults.Spec{
+			Name: "diff-delay",
+			Links: []faults.LinkFault{{
+				Link:     "S1-S2",
+				Feedback: []faults.FeedbackFault{{Delay: c.extraDelay}},
+			}},
+		}
+		plan, err := spec.Compile(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan.NewInjector(1)
+	}
+
+	queue := &stats.Series{}
+	ingressPort := topo.LinkBetween(s1, s2).PortOn(s2)
+	cfg.Trace = &netsim.Trace{
+		OnQueue: func(at units.Time, node topology.NodeID, port, _ int, q units.Size) {
+			if node == s2 && port == ingressPort {
+				queue.Append(at, float64(q))
+			}
+		},
+	}
+	n, err := netsim.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := routing.NewSPF(topo)
+	path, err := tab.Path(h1, h2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddFlow(&netsim.Flow{ID: 1, Src: h1, Dst: h2, Path: path}, 0); err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20 * units.Millisecond
+	n.Run(horizon)
+	if n.Drops() != 0 {
+		t.Fatalf("differential chain dropped %d packets", n.Drops())
+	}
+	return units.Size(queue.MeanAfter(horizon * 3 / 4))
+}
+
+// diffFluidSteady integrates the matching fluid model. Tau is the packet
+// simulation's effective feedback latency: feedback processing (3 µs
+// default) plus propagation (1 µs) plus the pipeline delays the fluid model
+// elides — serialisation of the data packets in flight on both sides of the
+// crossing and the rate-limiter's application granularity — measured at
+// ≈13 µs end to end on this chain. Injected feedback delay adds directly.
+func diffFluidSteady(t *testing.T, c diffCase, b1, bm units.Size) units.Size {
+	t.Helper()
+	table, err := core.NewStageTableRatio(10*units.Gbps, bm, b1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fluid.Run(fluid.Config{
+		Mapping: fluid.Staged{T: table},
+		Drain:   fluid.ConstantDrain(5 * units.Gbps),
+		Tau:     13*units.Microsecond + c.extraDelay,
+		Step:    100 * units.Nanosecond,
+		Horizon: 20 * units.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Steady
+}
+
+// TestDifferentialNetsimVsFluid cross-validates the packet simulation
+// against the fluid model on the bottleneck chain, clean and under an
+// injected deterministic feedback delay. The tolerance tightens with the
+// MTU: shrinking packets shrinks the quantisation error, so a finer MTU
+// must bring the two models closer.
+func TestDifferentialNetsimVsFluid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four 20 ms chain simulations")
+	}
+	const (
+		b1 = 750 * units.KB
+		bm = 994 * units.KB // 1000 KB buffer − 4 × 1500 B (factory default)
+	)
+	cases := []diffCase{
+		{name: "clean-mtu1500", mtu: 1500 * units.Byte},
+		{name: "clean-mtu500", mtu: 500 * units.Byte},
+		{name: "delayed-20us", mtu: 1500 * units.Byte, extraDelay: 20 * units.Microsecond},
+		{name: "delayed-50us", mtu: 1500 * units.Byte, extraDelay: 50 * units.Microsecond},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sim := diffNetsimSteady(t, c, b1, bm)
+			fl := diffFluidSteady(t, c, b1, bm)
+			diff := sim - fl
+			if diff < 0 {
+				diff = -diff
+			}
+			// Band: the backlog the 5 Gb/s rate mismatch accrues over the
+			// residual feedback-latency uncertainty (±3 µs around the
+			// measured effective Tau), plus packet quantisation — so the
+			// band, and the agreement it demands, tightens with the MTU.
+			band := units.BytesIn(5*units.Gbps, 3*units.Microsecond) + 4*c.mtu
+			t.Logf("steady occupancy: netsim %v, fluid %v, diff %v (band %v)", sim, fl, diff, band)
+			if diff > band {
+				t.Errorf("netsim %v vs fluid %v: |diff| %v exceeds band %v", sim, fl, diff, band)
+			}
+		})
+	}
+}

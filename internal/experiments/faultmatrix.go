@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// CleanScenario is the fault-matrix column with no injected faults.
+const CleanScenario = "clean"
+
+// FaultScenarios lists the canonical matrix columns: a clean baseline plus
+// every built-in fault preset.
+func FaultScenarios() []string {
+	return append([]string{CleanScenario}, faults.PresetNames()...)
+}
+
+// FaultCell is one (scheme, scenario) cell of the fault matrix: the §6.1
+// ring run under an injected fault scenario, with the deadlock verdict,
+// invariant outcome and progress measures the robustness comparison needs.
+type FaultCell struct {
+	FC       FC
+	Scenario string
+
+	Deadlocked   bool
+	DeadlockAt   units.Time
+	DeadlockKind deadlock.Kind
+	Drops        int64
+	Violations   int64
+
+	// FaultsInjected counts actuated timeline events plus feedback
+	// perturbations; FeedbackDropped/Delayed break out the message-level
+	// share.
+	FaultsInjected  int64
+	FeedbackDropped int64
+	FeedbackDelayed int64
+
+	// Delivered is the total goodput; MinFlow the worst-served flow's
+	// share. A positive MinFlow means every port kept progressing.
+	Delivered  units.Size
+	MinFlow    units.Size
+	SteadyRate units.Rate
+}
+
+// FaultMatrixConfig parameterises RunFaultMatrix.
+type FaultMatrixConfig struct {
+	Schemes   []FC       // default AllFCs()
+	Scenarios []string   // default FaultScenarios()
+	Duration  units.Time // default 60 ms
+	// HostsPerSwitch defaults to 1: the critically loaded ring where every
+	// scheme is clean without faults, so any deadlock in a faulted column
+	// is attributable to the injected scenario.
+	HostsPerSwitch int
+	// Seed seeds each cell's injector (per-cell injectors keep cells
+	// independent and individually replayable). Default 1.
+	Seed int64
+	// Refresh is applied to buffer-based GFC in every faulted cell (loss
+	// repair; see GFCBufferConfig.Refresh). The clean column always runs
+	// with Refresh 0 so it matches the golden fig9 traces. Default τ
+	// (90 µs), bounding feedback staleness at roughly one reaction budget.
+	Refresh units.Time
+}
+
+// RunFaultMatrix runs the scheme × scenario robustness matrix on the fig9
+// ring. The headline contrast: "resume-loss" permanently pauses a hop the
+// moment one RESUME frame is lost, so PFC deadlocks (the detector fires)
+// while both GFC variants — whose rates never reach zero — keep every flow
+// progressing under every scenario with no losses and no invariant
+// violations.
+func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
+	if cfg.Schemes == nil {
+		cfg.Schemes = AllFCs()
+	}
+	if cfg.Scenarios == nil {
+		cfg.Scenarios = FaultScenarios()
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 60 * units.Millisecond
+	}
+	if cfg.HostsPerSwitch == 0 {
+		cfg.HostsPerSwitch = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Refresh == 0 {
+		cfg.Refresh = 90 * units.Microsecond
+	}
+	topo := RingTopology(cfg.HostsPerSwitch)
+
+	var cells []FaultCell
+	for _, scenario := range cfg.Scenarios {
+		var plan *faults.Plan
+		if scenario != CleanScenario {
+			spec, err := faults.Preset(scenario)
+			if err != nil {
+				return nil, err
+			}
+			plan, err = spec.Compile(topo)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: compiling %q: %w", scenario, err)
+			}
+		}
+		for _, fc := range cfg.Schemes {
+			reg := metrics.New(metrics.Options{})
+			ring := RingConfig{
+				FC:             fc,
+				Duration:       cfg.Duration,
+				HostsPerSwitch: cfg.HostsPerSwitch,
+				Metrics:        reg,
+				Faults:         plan,
+				FaultSeed:      cfg.Seed,
+			}
+			if fc == GFCBuf && plan != nil {
+				ring.Refresh = cfg.Refresh
+			}
+			res, err := RunRing(ring)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s under %q: %w", fc, scenario, err)
+			}
+			cell := FaultCell{
+				FC: fc, Scenario: scenario,
+				Deadlocked: res.Deadlocked, DeadlockAt: res.DeadlockAt,
+				DeadlockKind: res.DeadlockKind,
+				Drops:        res.Drops,
+				Violations:   reg.Summary().Violations,
+				Delivered:    res.Delivered, MinFlow: res.MinFlow,
+				SteadyRate: res.SteadyRate,
+			}
+			cell.FaultsInjected = reg.FaultsInjected()
+			cell.FeedbackDropped = res.FaultStats.FeedbackDropped
+			cell.FeedbackDelayed = res.FaultStats.FeedbackDelayed
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// FaultMatrixRows renders the matrix as a printable table, one row per
+// (scheme, scenario) cell.
+func FaultMatrixRows(cells []FaultCell) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"Scheme", "Scenario", "Deadlock", "Drops", "Violations",
+		"Faults", "Min flow", "Steady rate",
+	}}
+	for _, c := range cells {
+		verdict := "no"
+		if c.Deadlocked {
+			verdict = fmt.Sprintf("%v at %v", c.DeadlockKind, c.DeadlockAt)
+		}
+		t.AddRow(string(c.FC), c.Scenario, verdict,
+			fmt.Sprintf("%d", c.Drops),
+			fmt.Sprintf("%d", c.Violations),
+			fmt.Sprintf("%d", c.FaultsInjected),
+			c.MinFlow.String(),
+			c.SteadyRate.String())
+	}
+	return t
+}

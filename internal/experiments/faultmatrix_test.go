@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// TestFaultMatrixHeadline runs the full scheme × scenario robustness matrix
+// with its defaults and pins the headline contrast of the fault-injection
+// study: on the critically loaded fig9 ring,
+//
+//   - the clean column is clean for every scheme (no deadlock, no drops, no
+//     violations, every flow progressing at line-ish rate);
+//   - "resume-loss" wedges PFC — one lost RESUME during the congestion
+//     squeeze holds a fabric hop shut forever and the detector reports a
+//     wedged channel, not a circular wait;
+//   - "feedback-loss" breaks PFC's losslessness (lost PAUSE frames overrun
+//     the ingress buffers; the invariant layer attributes the violations);
+//   - both GFC variants survive every scenario with zero drops, zero
+//     violations, no deadlock, and every flow making progress — their rates
+//     never reach zero, so no single lost message can wedge them.
+func TestFaultMatrixHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4×6 fault matrix (~2 s)")
+	}
+	cells, err := RunFaultMatrix(FaultMatrixConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(AllFCs()) * len(FaultScenarios()); len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+
+	byCell := make(map[[2]string]FaultCell, len(cells))
+	for _, c := range cells {
+		byCell[[2]string{string(c.FC), c.Scenario}] = c
+	}
+	cell := func(fc FC, scenario string) FaultCell {
+		c, ok := byCell[[2]string{string(fc), scenario}]
+		if !ok {
+			t.Fatalf("matrix missing cell (%s, %s)", fc, scenario)
+		}
+		return c
+	}
+
+	// Clean column: every scheme is healthy, so any trouble in a faulted
+	// column is attributable to the injected scenario.
+	for _, fc := range AllFCs() {
+		c := cell(fc, CleanScenario)
+		if c.Deadlocked || c.Drops != 0 || c.Violations != 0 {
+			t.Errorf("clean %s not clean: %+v", fc, c)
+		}
+		if c.FaultsInjected != 0 || c.FeedbackDropped != 0 {
+			t.Errorf("clean %s recorded faults: %+v", fc, c)
+		}
+		if c.MinFlow == 0 {
+			t.Errorf("clean %s starved a flow", fc)
+		}
+	}
+
+	// PFC under resume-loss: the wedge. Rate is zero from the wedge on.
+	rl := cell(PFC, "resume-loss")
+	if !rl.Deadlocked {
+		t.Fatal("PFC under resume-loss did not deadlock")
+	}
+	if rl.DeadlockKind != deadlock.WedgedChannel {
+		t.Errorf("PFC resume-loss deadlock kind = %v, want wedged-channel", rl.DeadlockKind)
+	}
+	if rl.SteadyRate != 0 {
+		t.Errorf("PFC resume-loss steady rate = %v, want 0 (ring frozen)", rl.SteadyRate)
+	}
+	if rl.FeedbackDropped == 0 {
+		t.Error("PFC resume-loss dropped no feedback — scenario did not bite")
+	}
+
+	// PFC under feedback-loss: lossy PAUSE → buffer overruns. The fabric
+	// keeps moving (no deadlock) but losslessness is gone, and the
+	// invariant layer must have caught it.
+	fl := cell(PFC, "feedback-loss")
+	if fl.Drops == 0 {
+		t.Error("PFC under feedback-loss dropped nothing — PAUSE loss did not overrun")
+	}
+	if fl.Violations == 0 {
+		t.Error("PFC drops not flagged as invariant violations")
+	}
+
+	// The GFC survival claim, across every scenario including the two that
+	// break PFC: no deadlock, strictly lossless, every flow progressing.
+	for _, fc := range []FC{GFCBuf, GFCTime} {
+		for _, scenario := range FaultScenarios() {
+			c := cell(fc, scenario)
+			if c.Deadlocked {
+				t.Errorf("%s deadlocked under %q at %v", fc, scenario, c.DeadlockAt)
+			}
+			if c.Drops != 0 || c.Violations != 0 {
+				t.Errorf("%s under %q: drops=%d violations=%d, want lossless",
+					fc, scenario, c.Drops, c.Violations)
+			}
+			if c.MinFlow == 0 {
+				t.Errorf("%s under %q starved a flow", fc, scenario)
+			}
+		}
+	}
+
+	// Faulted scenarios actually injected: the loss/delay presets must have
+	// perturbed messages for the schemes that emit feedback continuously.
+	if c := cell(CBFC, "feedback-loss"); c.FeedbackDropped == 0 {
+		t.Error("CBFC under feedback-loss lost no credits")
+	}
+	if c := cell(GFCTime, "feedback-delay"); c.FeedbackDelayed == 0 {
+		t.Error("GFC-time under feedback-delay delayed nothing")
+	}
+}
+
+// TestFaultMatrixDeterministic pins replay: the same config must produce
+// byte-identical cells on a second run (per-cell injectors are freshly
+// seeded, so no state leaks between runs or cells).
+func TestFaultMatrixDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the resume-loss column twice")
+	}
+	cfg := FaultMatrixConfig{
+		Schemes:   []FC{PFC, GFCBuf},
+		Scenarios: []string{"resume-loss"},
+		Duration:  30 * units.Millisecond,
+	}
+	a, err := RunFaultMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs across identical runs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFaultMatrixRows sanity-checks the rendered table.
+func TestFaultMatrixRows(t *testing.T) {
+	cells := []FaultCell{{
+		FC: PFC, Scenario: "resume-loss",
+		Deadlocked: true, DeadlockAt: 10 * units.Millisecond,
+		DeadlockKind: deadlock.WedgedChannel,
+	}}
+	tab := FaultMatrixRows(cells)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	if got := tab.Rows[0][2]; got != "wedged-channel at 10ms" {
+		t.Errorf("verdict cell = %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
@@ -16,14 +17,26 @@ type RingResult struct {
 	FC         FC
 	Deadlocked bool
 	DeadlockAt units.Time
-	Queue      *stats.Series // ingress S1←H1 occupancy
-	Rate       *stats.Series // H1's achieved input rate, 100 µs bins
+	// DeadlockKind distinguishes a circular wait from a fault-wedged
+	// channel (meaningful only when Deadlocked).
+	DeadlockKind deadlock.Kind
+	Queue        *stats.Series // ingress S1←H1 occupancy
+	Rate         *stats.Series // H1's achieved input rate, 100 µs bins
 	// SteadyQueue / SteadyRate average the final quarter of the run
 	// (≈840 KB / 5 Gb/s for buffer-based GFC in the paper's testbed,
 	// ≈745 KB / 5 Gb/s for time-based).
 	SteadyQueue units.Size
 	SteadyRate  units.Rate
 	Drops       int64
+	// Delivered totals the bytes every flow got to its destination;
+	// MinFlow is the worst-served flow's share (zero means a flow was
+	// starved outright — the per-port progress criterion of the fault
+	// matrix).
+	Delivered units.Size
+	MinFlow   units.Size
+	// FaultStats reports what the run's injector actually did (zero when
+	// the run was clean).
+	FaultStats faults.Stats
 }
 
 // RingConfig parameterises the Figures 9/10 testbed reproduction.
@@ -44,6 +57,25 @@ type RingConfig struct {
 	// unbound) and collects per-channel counters, occupancy series and
 	// invariant verdicts alongside the figure's own traces.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, injects the compiled fault plan: its timeline
+	// is scheduled on the run's engine and feedback emissions consult a
+	// fresh injector seeded with FaultSeed. The plan must be compiled on
+	// the same ring topology RunRing builds (RingTopology).
+	Faults    *faults.Plan
+	FaultSeed int64
+	// Refresh sets buffer-based GFC's periodic stage re-advertisement for
+	// this run (loss repair under faulted feedback); zero keeps the
+	// edge-triggered default and the clean-run traces.
+	Refresh units.Time
+}
+
+// RingTopology builds the topology RunRing simulates, so fault plans can be
+// compiled against the exact link set.
+func RingTopology(hostsPerSwitch int) *topology.Topology {
+	if hostsPerSwitch == 0 {
+		hostsPerSwitch = 1
+	}
+	return topology.RingHosts(3, hostsPerSwitch, topology.DefaultLinkParams())
 }
 
 // RunRing executes the §6.1 ring experiment under one scheme with the
@@ -55,7 +87,7 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	if cfg.HostsPerSwitch == 0 {
 		cfg.HostsPerSwitch = 1
 	}
-	topo := topology.RingHosts(3, cfg.HostsPerSwitch, topology.DefaultLinkParams())
+	topo := RingTopology(cfg.HostsPerSwitch)
 	simCfg, fp := TestbedParams()
 	if cfg.Tau > 0 {
 		simCfg.Tau = cfg.Tau
@@ -65,9 +97,15 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 		fp.B1 = 0
 		fp.B0 = 0
 	}
+	fp.Refresh = cfg.Refresh
 	simCfg.FlowControl = fp.Factory(cfg.FC)
 	simCfg.Scheduling = cfg.Scheduling
 	simCfg.Metrics = cfg.Metrics
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = cfg.Faults.NewInjector(cfg.FaultSeed)
+		simCfg.Faults = inj
+	}
 
 	res := &RingResult{FC: cfg.FC, Queue: &stats.Series{}, Rate: &stats.Series{}}
 	s1 := topo.MustLookup("S1")
@@ -89,6 +127,7 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var flows []*netsim.Flow
 	for i, path := range routing.RingHostsClockwisePaths(topo, 3, cfg.HostsPerSwitch) {
 		f := &netsim.Flow{
 			ID:   i + 1,
@@ -99,6 +138,7 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 		if err := net.AddFlow(f, 0); err != nil {
 			return nil, err
 		}
+		flows = append(flows, f)
 	}
 	det := deadlock.NewDetector(net)
 	det.Install()
@@ -110,9 +150,19 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	res.SteadyQueue = units.Size(res.Queue.MeanAfter(cfg.Duration * 3 / 4))
 	res.SteadyRate = units.Rate(res.Rate.MeanAfter(cfg.Duration * 3 / 4))
 	res.Drops = net.Drops()
+	for i, f := range flows {
+		res.Delivered += f.Delivered
+		if i == 0 || f.Delivered < res.MinFlow {
+			res.MinFlow = f.Delivered
+		}
+	}
+	if inj != nil {
+		res.FaultStats = inj.Stats()
+	}
 	if rep := det.Deadlocked(); rep != nil {
 		res.Deadlocked = true
 		res.DeadlockAt = rep.At
+		res.DeadlockKind = rep.Kind
 	}
 	return res, nil
 }

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// update rewrites testdata/golden_hashes.json with the hashes of the
+// current build:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// Do this only after verifying that a behaviour change is intended; the
+// goldens exist to catch silent drift in the simulation core.
+var update = flag.Bool("update", false, "rewrite golden trace hashes")
+
+const goldenPath = "testdata/golden_hashes.json"
+
+// hasher folds run results into an FNV-1a hash. Everything is reduced to
+// uint64 words (floats via their IEEE-754 bits), so two runs hash equal iff
+// they produced bit-identical results.
+type hasher struct{ h hash.Hash64 }
+
+func newHasher() *hasher { return &hasher{h: fnv.New64a()} }
+
+func (g *hasher) mix(vs ...uint64) {
+	var buf [8]byte
+	for _, v := range vs {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		g.h.Write(buf[:])
+	}
+}
+
+func (g *hasher) float(f float64) { g.mix(math.Float64bits(f)) }
+
+func (g *hasher) series(s *stats.Series) {
+	g.mix(uint64(len(s.T)))
+	for i := range s.T {
+		g.mix(uint64(s.T[i]))
+		g.float(s.V[i])
+	}
+}
+
+func (g *hasher) sum() uint64 { return g.h.Sum64() }
+
+func (g *hasher) ring(res *RingResult) {
+	g.series(res.Queue)
+	g.series(res.Rate)
+	g.mix(uint64(res.SteadyQueue), uint64(res.SteadyRate), uint64(res.Drops),
+		uint64(res.Delivered), uint64(res.MinFlow))
+	g.mix(uint64(res.DeadlockAt), uint64(res.DeadlockKind))
+	if res.Deadlocked {
+		g.mix(1)
+	}
+	g.mix(uint64(res.FaultStats.FeedbackDropped), uint64(res.FaultStats.FeedbackDelayed))
+}
+
+// goldenRuns maps each golden name to the run it hashes. Durations are
+// trimmed for CI; what matters is that every subsystem on the hashed path —
+// engine ordering, flow control, scheduling, fault injection — reproduces
+// the exact event sequence.
+var goldenRuns = map[string]func(t *testing.T) uint64{
+	"fig9-ring-gfcbuf": func(t *testing.T) uint64 {
+		res, err := RunRing(RingConfig{FC: GFCBuf, Duration: 30 * units.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newHasher()
+		g.ring(res)
+		return g.sum()
+	},
+	"fig9-ring-faulted": func(t *testing.T) uint64 {
+		// The canonical faulted scenario: resume-loss on the fig9 ring,
+		// PFC (wedges) and buffer-based GFC with refresh (rides it out).
+		spec, err := faults.Preset("resume-loss")
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := spec.Compile(RingTopology(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newHasher()
+		for _, fc := range []FC{PFC, GFCBuf} {
+			cfg := RingConfig{
+				FC: fc, Duration: 30 * units.Millisecond,
+				Faults: plan, FaultSeed: 1,
+			}
+			if fc == GFCBuf {
+				cfg.Refresh = 90 * units.Microsecond
+			}
+			res, err := RunRing(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.ring(res)
+		}
+		return g.sum()
+	},
+	"fig12-casestudy-pfc": func(t *testing.T) uint64 {
+		res, _, err := RunCaseStudy(CaseStudyConfig{
+			FC: PFC, Duration: 30 * units.Millisecond, WithCross: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newHasher()
+		for _, r := range res.FlowRates {
+			g.mix(uint64(r))
+		}
+		g.mix(uint64(res.DeadlockAt), uint64(res.Drops))
+		if res.Deadlocked {
+			g.mix(1)
+		}
+		for _, r := range res.Throughput.Rates() {
+			g.mix(uint64(r))
+		}
+		return g.sum()
+	},
+	"fig19-overhead": func(t *testing.T) uint64 {
+		res, err := RunOverhead(OverheadConfig{
+			K: 4, Seed: 1, Duration: 5 * units.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newHasher()
+		g.mix(uint64(res.CDF.Len()), uint64(res.Drops))
+		g.float(res.Mean)
+		g.float(res.P99)
+		g.float(res.Max)
+		return g.sum()
+	},
+	"table1-sweep-pfc": func(t *testing.T) uint64 {
+		return sweepHash(t, 4)
+	},
+}
+
+// sweepHash runs a small PFC failure sweep with the given worker count and
+// hashes its aggregate. Used both as a golden and as the worker-count
+// independence check.
+func sweepHash(t *testing.T, workers int) uint64 {
+	cfg := DefaultSweep(4)
+	cfg.Networks = 30
+	cfg.Repeats = 1
+	cfg.Duration = 10 * units.Millisecond
+	cfg.Workers = workers
+	res, err := RunSweep(PFC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newHasher()
+	g.mix(uint64(res.K), uint64(res.CBDProne), uint64(res.DeadlockCases), uint64(res.Drops))
+	g.mix(uint64(res.Bandwidth.Len()), uint64(res.Slowdown.Len()))
+	g.float(res.Bandwidth.Mean())
+	g.float(res.Bandwidth.Max())
+	g.float(res.Slowdown.Mean())
+	return g.sum()
+}
+
+// TestGoldenTraces regression-pins the end-to-end event streams of the
+// paper's key experiments (fig9, fig12, fig19, table1) plus the canonical
+// faulted scenario against recorded FNV-1a hashes. A mismatch means the
+// simulation produced different results than the commit that recorded the
+// goldens — intended changes re-record with -update.
+func TestGoldenTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five experiments (~10 s)")
+	}
+	want := map[string]string{}
+	data, err := os.ReadFile(goldenPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("corrupt %s: %v", goldenPath, err)
+		}
+	case os.IsNotExist(err) && *update:
+		// First recording.
+	default:
+		t.Fatalf("reading %s: %v (run with -update to record)", goldenPath, err)
+	}
+
+	got := map[string]string{}
+	for name, run := range goldenRuns {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			h := fmt.Sprintf("%016x", run(t))
+			got[name] = h
+			if *update {
+				return
+			}
+			w, ok := want[name]
+			if !ok {
+				t.Fatalf("no golden recorded for %s (run with -update)", name)
+			}
+			if h != w {
+				t.Errorf("trace hash %s, golden %s — simulation behaviour changed; "+
+					"re-record with -update if intended", h, w)
+			}
+		})
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden hashes to %s", len(got), goldenPath)
+	}
+}
+
+// TestSweepWorkerIndependence pins the share-nothing parallelism contract on
+// the table1 sweep: the aggregate must be bit-identical for every worker
+// count (each scenario is seeded from its index and folded in order).
+func TestSweepWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	if a, b := sweepHash(t, 1), sweepHash(t, 4); a != b {
+		t.Fatalf("sweep hash differs across worker counts: %016x (1 worker) vs %016x (4)", a, b)
+	}
+}
+
+// TestFaultedRingDeterminism replays the canonical faulted scenario twice
+// and demands bit-identical traces: every random draw of the injector comes
+// from its private, seeded source, in event order.
+func TestFaultedRingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faulted ring twice")
+	}
+	run := goldenRuns["fig9-ring-faulted"]
+	if a, b := run(t), run(t); a != b {
+		t.Fatalf("faulted ring not deterministic: %016x vs %016x", a, b)
+	}
+}
+
+// TestGoldenKindStability pins the enum values baked into recorded hashes:
+// reordering deadlock.Kind would silently shift every golden.
+func TestGoldenKindStability(t *testing.T) {
+	if deadlock.CircularWait != 0 || deadlock.WedgedChannel != 1 {
+		t.Fatal("deadlock.Kind values changed; goldens must be re-recorded with -update")
+	}
+}

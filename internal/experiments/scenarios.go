@@ -40,6 +40,9 @@ type FCParams struct {
 	Bm        units.Size // GFC mapping ceiling (0 = derive)
 	Period    units.Time // CBFC / time-based GFC feedback period
 	B0        units.Size // time-based GFC threshold
+	// Refresh is buffer-based GFC's periodic stage re-advertisement
+	// (loss repair); zero keeps the paper's pure edge-triggered feedback.
+	Refresh units.Time
 }
 
 // Factory returns the flowcontrol.Factory for scheme fc under params p.
@@ -53,7 +56,7 @@ func (p FCParams) Factory(fc FC) flowcontrol.Factory {
 	case CBFC:
 		return flowcontrol.NewCBFC(flowcontrol.CBFCConfig{Period: p.Period})
 	case GFCBuf:
-		return flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{B1: p.B1, Bm: p.Bm})
+		return flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{B1: p.B1, Bm: p.Bm, Refresh: p.Refresh})
 	case GFCTime:
 		return flowcontrol.NewGFCTime(flowcontrol.GFCTimeConfig{Period: p.Period, B0: p.B0, Bm: p.Bm})
 	default:

@@ -30,6 +30,15 @@ type GFCBufferConfig struct {
 	// Ratio is the per-stage rate ratio R_k/R_{k−1}; zero means the
 	// paper's 1/2 (equation 4). Equation (3) requires ≤ 3/4.
 	Ratio float64
+	// Refresh, when positive, re-advertises the current stage every
+	// Refresh even without a threshold crossing. Stage feedback is
+	// edge-triggered, so a single lost message otherwise leaves the
+	// sender on a stale rate forever; periodic refresh bounds the
+	// staleness at one Refresh period past the loss burst (the same
+	// repair PFC gets from pause-frame refresh and CBFC from periodic
+	// credit adverts). Zero keeps the pure edge-triggered behaviour of
+	// §5.1 and its Figure-19 overhead numbers.
+	Refresh units.Time
 }
 
 // NewGFCBuffer returns a Factory for buffer-based GFC.
@@ -71,7 +80,7 @@ func NewGFCBuffer(cfg GFCBufferConfig) Factory {
 		}
 		return Controller{
 			Sender:   &gfcBufferSender{p: p, table: table, rl: rl, env: env},
-			Receiver: &gfcBufferReceiver{p: p, table: table, env: env},
+			Receiver: &gfcBufferReceiver{p: p, table: table, env: env, refresh: cfg.Refresh},
 		}, nil
 	}
 }
@@ -123,9 +132,10 @@ func (s *gfcBufferSender) StageTable() *core.StageTable { return s.table }
 // carrying the then-current stage; the stage inequalities (eq. 1) budget one
 // τ of reaction delay, so the deferral preserves the safety argument.
 type gfcBufferReceiver struct {
-	p     Params
-	table *core.StageTable
-	env   Env
+	p       Params
+	table   *core.StageTable
+	env     Env
+	refresh units.Time // 0: pure edge-triggered (no loss repair)
 
 	sent     int // last stage reported upstream
 	lastQ    units.Size
@@ -134,7 +144,23 @@ type gfcBufferReceiver struct {
 	pending  bool
 }
 
-func (r *gfcBufferReceiver) Start() {}
+func (r *gfcBufferReceiver) Start() {
+	if r.refresh > 0 {
+		r.env.After(r.refresh, r.tick)
+	}
+}
+
+// tick is the periodic refresh: re-advertise the current stage so a lost
+// stage message costs at most one Refresh period of stale rate. Quiet
+// channels stay quiet — until the first crossing there is nothing upstream
+// could have lost, and re-advertising stage 0 forever would change the
+// clean-run feedback overhead.
+func (r *gfcBufferReceiver) tick() {
+	if r.started && !r.pending {
+		r.emit(r.table.StageFor(r.lastQ))
+	}
+	r.env.After(r.refresh, r.tick)
+}
 
 func (r *gfcBufferReceiver) gap() units.Time {
 	if r.p.Tau > 0 {

@@ -12,19 +12,20 @@ import (
 // Summary is a compact roll-up over all channels — what sweep-scale callers
 // aggregate instead of full reports.
 type Summary struct {
-	Channels     int        `json:"channels"`
-	BytesIn      units.Size `json:"bytes_in"`
-	BytesOut     units.Size `json:"bytes_out"`
-	Drops        int64      `json:"drops"`
-	MaxOccupancy units.Size `json:"max_occupancy"`
-	FeedbackMsgs int64      `json:"feedback_msgs"`
-	FeedbackWire units.Size `json:"feedback_wire_bytes"`
-	PauseMsgs    int64      `json:"pause_msgs"`
-	ResumeMsgs   int64      `json:"resume_msgs"`
-	StageMsgs    int64      `json:"stage_msgs"`
-	CreditMsgs   int64      `json:"credit_msgs"`
-	QueueMsgs    int64      `json:"queue_msgs"`
-	Violations   int64      `json:"violations"`
+	Channels       int        `json:"channels"`
+	BytesIn        units.Size `json:"bytes_in"`
+	BytesOut       units.Size `json:"bytes_out"`
+	Drops          int64      `json:"drops"`
+	MaxOccupancy   units.Size `json:"max_occupancy"`
+	FeedbackMsgs   int64      `json:"feedback_msgs"`
+	FeedbackWire   units.Size `json:"feedback_wire_bytes"`
+	PauseMsgs      int64      `json:"pause_msgs"`
+	ResumeMsgs     int64      `json:"resume_msgs"`
+	StageMsgs      int64      `json:"stage_msgs"`
+	CreditMsgs     int64      `json:"credit_msgs"`
+	QueueMsgs      int64      `json:"queue_msgs"`
+	Violations     int64      `json:"violations"`
+	FaultsInjected int64      `json:"faults_injected,omitempty"`
 }
 
 // Merge folds o into s (channel counts add; occupancy takes the max).
@@ -44,13 +45,15 @@ func (s *Summary) Merge(o Summary) {
 	s.CreditMsgs += o.CreditMsgs
 	s.QueueMsgs += o.QueueMsgs
 	s.Violations += o.Violations
+	s.FaultsInjected += o.FaultsInjected
 }
 
 // Summary rolls up the registry's counters.
 func (r *Registry) Summary() Summary {
 	s := Summary{
-		Channels:   len(r.chans),
-		Violations: int64(len(r.violations)) + r.truncated,
+		Channels:       len(r.chans),
+		Violations:     int64(len(r.violations)) + r.truncated,
+		FaultsInjected: r.faultCount,
 	}
 	for i := range r.counters {
 		c := &r.counters[i]
@@ -109,15 +112,16 @@ type ChannelReport struct {
 
 // ViolationReport is the exported form of a Violation.
 type ViolationReport struct {
-	Kind      string     `json:"kind"`
-	At        units.Time `json:"at_ns"`
-	Node      string     `json:"node"`
-	Port      int        `json:"port"`
-	Prio      int        `json:"prio"`
-	From      string     `json:"from"`
-	Occupancy units.Size `json:"occupancy"`
-	Limit     units.Size `json:"limit"`
-	Detail    string     `json:"detail,omitempty"`
+	Kind        string     `json:"kind"`
+	At          units.Time `json:"at_ns"`
+	Node        string     `json:"node"`
+	Port        int        `json:"port"`
+	Prio        int        `json:"prio"`
+	From        string     `json:"from"`
+	Occupancy   units.Size `json:"occupancy"`
+	Limit       units.Size `json:"limit"`
+	Detail      string     `json:"detail,omitempty"`
+	FaultsSoFar int64      `json:"faults_so_far,omitempty"`
 }
 
 // Report is a full point-in-time export of the registry.
@@ -128,6 +132,8 @@ type Report struct {
 	Channels            []ChannelReport   `json:"channels"`
 	Violations          []ViolationReport `json:"violations,omitempty"`
 	ViolationsTruncated int64             `json:"violations_truncated,omitempty"`
+	Faults              []FaultReport     `json:"faults,omitempty"`
+	FaultsTruncated     int64             `json:"faults_truncated,omitempty"`
 }
 
 // Report builds the export at simulation time at (the caller's clock; the
@@ -168,7 +174,12 @@ func (r *Registry) Report(at units.Time) *Report {
 			Kind: v.Kind.String(), At: v.At, Node: v.NodeName,
 			Port: v.Port, Prio: v.Prio, From: v.FromName,
 			Occupancy: v.Occupancy, Limit: v.Limit, Detail: v.Detail,
+			FaultsSoFar: v.FaultsSoFar,
 		})
+	}
+	rep.FaultsTruncated = r.faultsTruncated
+	for _, ev := range r.faults {
+		rep.Faults = append(rep.Faults, r.faultReport(ev))
 	}
 	return rep
 }

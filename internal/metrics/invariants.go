@@ -65,6 +65,11 @@ type Violation struct {
 	Occupancy units.Size
 	Limit     units.Size
 	Detail    string
+	// FaultsSoFar is how many faults had been injected when the violation
+	// fired — zero means it happened on a clean network; otherwise
+	// Registry.Faults()[:FaultsSoFar] are the candidate triggers (the last
+	// of them the most likely one).
+	FaultsSoFar int64
 }
 
 func (v Violation) String() string {
@@ -109,6 +114,7 @@ func (r *Registry) violate(v Violation, idx int) {
 	ch := r.chans[idx]
 	v.Node, v.NodeName, v.Port, v.Prio = ch.Node, ch.NodeName, ch.Port, ch.Prio
 	v.From, v.FromName = ch.From, ch.FromName
+	v.FaultsSoFar = r.faultCount
 	if len(r.violations) < r.opt.MaxViolations {
 		r.violations = append(r.violations, v)
 	} else {

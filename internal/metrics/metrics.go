@@ -46,6 +46,9 @@ type Options struct {
 	// MaxViolations caps how many violations are recorded in full; later
 	// ones only increment a truncation counter. Zero means 64.
 	MaxViolations int
+	// MaxFaults caps how many injected fault events are recorded in full
+	// (the count is always exact). Zero means 256.
+	MaxFaults int
 	// OnViolation, when non-nil, is called synchronously for every
 	// violation (including truncated ones) — e.g. to stop a run early.
 	OnViolation func(Violation)
@@ -129,6 +132,10 @@ type Registry struct {
 
 	violations []Violation
 	truncated  int64
+
+	faults          []FaultEvent
+	faultCount      int64
+	faultsTruncated int64
 }
 
 // New returns an unbound registry.
@@ -138,6 +145,9 @@ func New(opt Options) *Registry {
 	}
 	if opt.MaxViolations == 0 {
 		opt.MaxViolations = 64
+	}
+	if opt.MaxFaults == 0 {
+		opt.MaxFaults = 256
 	}
 	return &Registry{opt: opt}
 }

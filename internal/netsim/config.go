@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/topology"
@@ -83,6 +84,15 @@ type Config struct {
 	// a single nil check, so a nil Metrics costs nothing. The registry
 	// must be fresh (unbound) and must not be shared across networks.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, executes a compiled fault plan against this
+	// network: its timeline events (flaps, rate degradation, bursts) are
+	// scheduled on the engine at construction, and the feedback path
+	// consults it per message. Like Metrics it sits behind one nil check —
+	// a nil Faults costs nothing — and like Metrics it must be fresh
+	// (faults.Plan.NewInjector per network): the injector owns the fault
+	// plan's random source, and sharing one would interleave draws across
+	// networks and destroy per-seed reproducibility.
+	Faults *faults.Injector
 }
 
 func (c *Config) fillDefaults() {

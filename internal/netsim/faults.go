@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// This file actuates the fault-injection timeline (internal/faults): the
+// scheduled half of the fault model. The probabilistic half — per-message
+// feedback verdicts — lives inline in fcEnv.Emit. Faults never bypass the
+// normal machinery: a down link is a transmitter that refuses to start
+// (kick's adminDown guard), a degraded link is a smaller capacity, a burst
+// is a pacer bypass in the host refill path — so everything downstream
+// (flow control, metrics, the deadlock detector) observes faults exactly as
+// it would observe the real events.
+
+// Faults returns the bound fault injector, or nil when fault injection is
+// disabled.
+func (n *Network) Faults() *faults.Injector { return n.faults }
+
+// applyFault actuates one compiled timeline event.
+func (n *Network) applyFault(ev faults.Event) {
+	now := n.eng.Now()
+	switch ev.Kind {
+	case faults.LinkDown:
+		n.SetLinkAdminState(ev.Link, true)
+		n.recordFault(metrics.FaultEvent{
+			Kind: metrics.FaultLinkDown, At: now, Channel: -1,
+			Link: ev.Link, Node: n.topo.Link(ev.Link).A,
+		})
+	case faults.LinkUp:
+		n.SetLinkAdminState(ev.Link, false)
+		n.recordFault(metrics.FaultEvent{
+			Kind: metrics.FaultLinkUp, At: now, Channel: -1,
+			Link: ev.Link, Node: n.topo.Link(ev.Link).A,
+		})
+	case faults.RateScale:
+		n.scaleLinkRate(ev.Link, ev.Factor)
+		n.recordFault(metrics.FaultEvent{
+			Kind: metrics.FaultRateScale, At: now, Channel: -1,
+			Link: ev.Link, Node: n.topo.Link(ev.Link).A, Factor: ev.Factor,
+		})
+	case faults.HostBurst:
+		h := n.nodes[ev.Node]
+		if h.kind == topology.Host {
+			h.burstBytes += ev.Bytes
+			n.refill(h)
+		}
+		n.recordFault(metrics.FaultEvent{
+			Kind: metrics.FaultBurst, At: now, Channel: -1,
+			Link: -1, Node: ev.Node, Bytes: ev.Bytes,
+		})
+	}
+}
+
+func (n *Network) recordFault(ev metrics.FaultEvent) {
+	if reg := n.metrics; reg != nil {
+		reg.OnFault(ev)
+	}
+}
+
+// linkPorts returns the two port instances attached to link id.
+func (n *Network) linkPorts(id topology.LinkID) (*port, *port) {
+	l := n.topo.Link(id)
+	return n.nodes[l.A].ports[l.PortA], n.nodes[l.B].ports[l.PortB]
+}
+
+// SetLinkAdminState takes the link administratively down or up. Down: both
+// transmitters stop after their in-flight packet (an administrative drain,
+// not a packet loss — the fabric stays lossless), feedback crossing the
+// link is destroyed, queued traffic holds. Up: both transmitters restart.
+//
+// Coming up also restarts the stall clock of every occupied switch ingress
+// buffer in the network: the wait-for graph those windows were measured
+// under included an outage, so a deadlock verdict may only accumulate from
+// the repaired topology onward (the detector excludes buffers actively
+// waiting on a down link, but buffers further upstream window on
+// LastDepartAt/OccupiedSince and would otherwise carry outage time into a
+// false verdict).
+func (n *Network) SetLinkAdminState(id topology.LinkID, down bool) {
+	pa, pb := n.linkPorts(id)
+	pa.adminDown, pb.adminDown = down, down
+	if down {
+		return
+	}
+	now := n.eng.Now()
+	for _, nd := range n.nodes {
+		if nd.kind != topology.Switch {
+			continue
+		}
+		for _, p := range nd.ports {
+			for prio := range p.occupancy {
+				if p.occupancy[prio] > 0 {
+					p.progress[prio].occupiedSince = now
+				}
+			}
+		}
+	}
+	n.kick(pa)
+	n.kick(pb)
+	// A host behind the restored link may have withheld injection.
+	for _, nd := range []*node{pa.owner, pb.owner} {
+		if nd.kind == topology.Host {
+			n.refill(nd)
+		}
+	}
+}
+
+// LinkAdminDown reports whether link id is administratively down.
+func (n *Network) LinkAdminDown(id topology.LinkID) bool {
+	pa, _ := n.linkPorts(id)
+	return pa.adminDown
+}
+
+// scaleLinkRate runs both directions of the link at factor × the nominal
+// capacity. An in-flight transmission finishes at the old rate; the next
+// one serialises at the new. Flow controllers keep their construction-time
+// parameters — a degraded link looks to them like mysteriously slow
+// drains, exactly as an autoneg downshift does in a real fabric.
+func (n *Network) scaleLinkRate(id topology.LinkID, factor float64) {
+	pa, pb := n.linkPorts(id)
+	nominal := n.topo.Link(id).Capacity
+	scaled := units.Rate(float64(nominal) * factor)
+	if scaled <= 0 {
+		scaled = 1 // a zero rate would make TransmissionTime divide by zero
+	}
+	pa.capacity, pb.capacity = scaled, scaled
+}

@@ -96,6 +96,12 @@ type IngressState struct {
 	// starvation); a positive rate means the buffer still trickles —
 	// GFC's hold-and-wait elimination in action.
 	WaitRates []units.Rate
+	// WaitsDown[i] reports that the egress toward WaitsOn[i] is
+	// administratively down. Such a wait is a transient outage, not
+	// hold-and-wait: the deadlock detector must not count it toward a
+	// circular-wait verdict (a flapped link would otherwise read as a
+	// ring deadlock).
+	WaitsDown []bool
 }
 
 // IngressStates snapshots every switch ingress buffer, ordered (node, port,
@@ -126,6 +132,7 @@ func (n *Network) IngressStates() []IngressState {
 						r = s.Rate()
 					}
 					is.WaitRates = append(is.WaitRates, r)
+					is.WaitsDown = append(is.WaitsDown, eg.adminDown)
 				}
 				switch n.cfg.Scheduling {
 				case SchedInputQueued:

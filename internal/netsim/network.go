@@ -6,6 +6,7 @@ import (
 
 	"github.com/gfcsim/gfc/internal/core"
 	"github.com/gfcsim/gfc/internal/eventsim"
+	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/topology"
@@ -27,6 +28,8 @@ type Network struct {
 	// metrics is cfg.Metrics, cached so the hot path pays one nil check
 	// when observability is disabled.
 	metrics *metrics.Registry
+	// faults is cfg.Faults, cached for the same single-nil-check reason.
+	faults *faults.Injector
 
 	feedbackBytes units.Size // total feedback wire bytes, all channels
 }
@@ -182,6 +185,18 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			}
 		}
 	}
+	// Bind the fault injector and schedule its timeline. Binding claims
+	// the injector for this network (a second bind panics), and the
+	// scheduled closures are the only per-event allocations — fault
+	// timelines are a handful of events, never hot-path.
+	if inj := cfg.Faults; inj != nil {
+		inj.Bind()
+		n.faults = inj
+		for _, ev := range inj.Timeline() {
+			ev := ev
+			n.eng.Schedule(ev.At, func() { n.applyFault(ev) })
+		}
+	}
 	// Start receivers (periodic feedback, initial credit adverts).
 	for _, nd := range n.nodes {
 		for _, p := range nd.ports {
@@ -231,6 +246,44 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 		e.down.link.Delay + n.cfg.ProcDelay
 	if n.jitter != nil {
 		delay += units.Time(n.jitter.Int63n(int64(n.cfg.FeedbackJitter)))
+	}
+	now := n.eng.Now()
+	if e.down.adminDown {
+		// The link is administratively down: the frame is emitted into a
+		// dead channel and lost. (The wire/trace accounting above stands —
+		// the receiver did spend the emission.)
+		if reg := n.metrics; reg != nil {
+			reg.OnFault(metrics.FaultEvent{
+				Kind: metrics.FaultFeedbackDrop, At: now,
+				Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+				Node: e.down.owner.id,
+			})
+		}
+		return
+	}
+	if inj := n.faults; inj != nil {
+		drop, extra := inj.FeedbackVerdict(
+			e.down.link.ID, e.down.owner.id, e.prio, m.Kind, now)
+		if drop {
+			if reg := n.metrics; reg != nil {
+				reg.OnFault(metrics.FaultEvent{
+					Kind: metrics.FaultFeedbackDrop, At: now,
+					Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+					Node: e.down.owner.id,
+				})
+			}
+			return
+		}
+		if extra > 0 {
+			delay += extra
+			if reg := n.metrics; reg != nil {
+				reg.OnFault(metrics.FaultEvent{
+					Kind: metrics.FaultFeedbackDelay, At: now,
+					Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+					Node: e.down.owner.id,
+				})
+			}
+		}
 	}
 	sender := e.up.senders[e.prio]
 	up := e.up
@@ -307,6 +360,9 @@ func (n *Network) AddFlow(f *Flow, at units.Time) error {
 			f.ID, f.Priority, n.cfg.Priorities)
 	}
 	n.flows = append(n.flows, f)
+	if inj := n.faults; inj != nil {
+		at = inj.FlowOnset(f.ID, at)
+	}
 	src := n.nodes[f.Src]
 	n.eng.Schedule(at, func() {
 		f.Started = n.eng.Now()

@@ -25,6 +25,11 @@ type port struct {
 	peer     topology.NodeID
 	peerPort int
 	capacity units.Rate
+	// adminDown marks the attached link administratively down (fault
+	// injection): the transmitter stops, feedback is lost, but unlike
+	// link.Failed the state is dynamic and the wired controllers stay in
+	// place for the link's return.
+	adminDown bool
 
 	// Egress state.
 	sched       Scheduling
@@ -171,6 +176,10 @@ type node struct {
 	refillAt units.Time
 	refillEv eventsim.Event
 	refillFn func() // pre-bound refill timer callback
+	// burstBytes is the remaining fault-injected burst budget: while
+	// positive, flow pacers are bypassed so the host injects at NIC speed
+	// (a synchronised burst), decremented per released packet.
+	burstBytes units.Size
 
 	// SchedBlocking forwarding state, per priority.
 	fwdCursor  []int

@@ -40,6 +40,13 @@ func (n *Network) refill(h *node) {
 		if f.Pacer != nil {
 			f.Pacer.OnRelease(now, size)
 		}
+		if h.burstBytes > 0 {
+			if size >= h.burstBytes {
+				h.burstBytes = 0
+			} else {
+				h.burstBytes -= size
+			}
+		}
 		f.released += size
 		pkt := newPacket()
 		pkt.Flow, pkt.Seq, pkt.Size, pkt.Priority = f, f.seq, size, f.Priority
@@ -64,7 +71,9 @@ func (n *Network) nextFlow(h *node, now units.Time) (*Flow, units.Time) {
 		if !f.active || f.remaining(n.cfg.MTU) == 0 {
 			continue
 		}
-		if f.Pacer != nil {
+		// A fault-injected burst budget bypasses pacing: the host floods
+		// at NIC speed until the budget drains.
+		if f.Pacer != nil && h.burstBytes == 0 {
 			size := f.remaining(n.cfg.MTU)
 			if size > n.cfg.MTU {
 				size = n.cfg.MTU
@@ -99,7 +108,7 @@ func (n *Network) scheduleRefill(h *node, at units.Time) {
 // queued priority, it schedules a retry at the earliest wake time (feedback
 // events also re-kick).
 func (n *Network) kick(p *port) {
-	if p.busy || p.link.Failed {
+	if p.busy || p.adminDown || p.link.Failed {
 		return
 	}
 	now := n.eng.Now()
