@@ -5,10 +5,17 @@
 // Usage:
 //
 //	gfcsim -exp <experiment> [flags]
+//	gfcsim -scenario <name | file.json> [flags]
+//	gfcsim -list
 //
 // Experiments: fig5, fig9, fig10, fig12, fig13, fig14, fig15, table1,
 // fig16, fig17, fig18, fig19, fig20, faults. See EXPERIMENTS.md for what
 // each reports and how it maps to the paper.
+//
+// -scenario runs one declarative scenario end-to-end: either a registered
+// name (-list enumerates the catalogue, which includes every figure's
+// canonical setup and the Clos-scale clos128-* smoke scenarios) or a path to
+// a user-authored spec file in the JSON format documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"github.com/gfcsim/gfc/internal/experiments"
 	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
 	"github.com/gfcsim/gfc/internal/viz"
@@ -39,6 +47,9 @@ var (
 		"write per-channel metrics reports (JSON, or CSV when the path ends in .csv)\nand fail on invariant violations; supported by fig9/fig10/fig12/fig13/fig14")
 	faultSpec = flag.String("faults", "",
 		"fault scenario: a preset name (resume-loss, feedback-loss, feedback-delay,\nflap, degrade) or a path to a JSON spec file; applies to fig9/fig10 and the\nfaults matrix (deterministic per -seed)")
+	scenarioName = flag.String("scenario", "",
+		"run a declarative scenario: a registered name (see -list) or a path to a\nspec JSON file (format in EXPERIMENTS.md)")
+	listScenarios = flag.Bool("list", false, "list the registered scenarios and exit")
 )
 
 // sink gathers the per-run metrics registries when -metrics-out is set; nil
@@ -47,11 +58,34 @@ var sink *metricsSink
 
 func main() {
 	flag.Parse()
-	if *expName == "" {
+	if *listScenarios {
+		fmt.Println("Registered scenarios (run with -scenario <name>):")
+		for _, name := range scenario.Names() {
+			s, _ := scenario.Get(name)
+			fmt.Printf("  %-28s %s\n", name, s.Description)
+		}
+		return
+	}
+	if *expName == "" && *scenarioName == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *expName != "" && *scenarioName != "" {
+		fmt.Fprintln(os.Stderr, "give -exp or -scenario, not both")
+		os.Exit(2)
+	}
 	sink = newMetricsSink(*metricsOut)
+	if *scenarioName != "" {
+		if err := runScenario(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := sink.flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var err error
 	switch *expName {
 	case "fig5":
@@ -89,6 +123,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario resolves -scenario (registry name or spec file), applies the
+// -duration override and runs it to completion.
+func runScenario() error {
+	var spec scenario.Spec
+	if strings.ContainsAny(*scenarioName, "./\\") {
+		s, err := scenario.Load(*scenarioName)
+		if err != nil {
+			return err
+		}
+		spec = *s
+	} else {
+		s, ok := scenario.Get(*scenarioName)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -list, or pass a .json file)", *scenarioName)
+		}
+		spec = s
+	}
+	if *duration > 0 {
+		spec.Run.DurationNs = units.Time(*duration)
+	}
+	reg := sink.registry()
+	sim, err := scenario.Build(spec, &scenario.Overrides{Metrics: reg})
+	if err != nil {
+		return err
+	}
+	res := sim.Run()
+	sink.record(spec.Name, reg, res.End)
+
+	fmt.Printf("scenario %s (%s)\n", spec.Name, spec.Scheme.FC)
+	if spec.Description != "" {
+		fmt.Printf("  %s\n", spec.Description)
+	}
+	verdict := "no deadlock"
+	if res.Deadlocked {
+		verdict = fmt.Sprintf("DEADLOCK (%v) at %v", res.DeadlockKind, res.DeadlockAt)
+	} else if sim.Detector == nil {
+		verdict = "deadlock detection off"
+	}
+	fmt.Printf("  ran to %v: %s\n", res.End, verdict)
+	fmt.Printf("  delivered %v, drops %d\n", res.Delivered, res.Drops)
+	if reg != nil {
+		fmt.Printf("  invariant violations: %d\n", res.Violations)
+	}
+	if s := res.FaultStats; s != (faults.Stats{}) {
+		fmt.Printf("  faults: feedback dropped=%d delayed=%d\n", s.FeedbackDropped, s.FeedbackDelayed)
+	}
+	return nil
 }
 
 func dur(def units.Time) units.Time {

@@ -22,6 +22,41 @@ import (
 	"github.com/gfcsim/gfc/internal/runner"
 )
 
+// runScenario resolves ref against the scenario registry (or loads it from a
+// JSON file when it looks like a path), runs it once with an attached metrics
+// registry and prints the verdict — the same declarative path cmd/gfcsim
+// -scenario takes, here through the public facade.
+func runScenario(ref string) {
+	var spec gfc.Scenario
+	if strings.ContainsAny(ref, "./\\") {
+		loaded, err := gfc.LoadScenario(ref)
+		if err != nil {
+			panic(err)
+		}
+		spec = *loaded
+	} else {
+		var ok bool
+		if spec, ok = gfc.GetScenario(ref); !ok {
+			panic(fmt.Sprintf("unknown scenario %q; registered: %s",
+				ref, strings.Join(gfc.ScenarioNames(), ", ")))
+		}
+	}
+	reg := gfc.NewMetricsRegistry(gfc.MetricsOptions{})
+	sim, err := gfc.BuildScenario(spec, &gfc.ScenarioOverrides{Metrics: reg})
+	if err != nil {
+		panic(err)
+	}
+	res := sim.Run()
+	fmt.Printf("scenario %s (%s): ran to %v\n", res.Name, res.FC, res.End)
+	if res.Deadlocked {
+		fmt.Printf("  DEADLOCK (%v) at %v\n", res.DeadlockKind, res.DeadlockAt)
+	} else if sim.Detector != nil {
+		fmt.Println("  no deadlock")
+	}
+	fmt.Printf("  delivered %v, drops %d, violations %d\n",
+		res.Delivered, res.Drops, res.Violations)
+}
+
 func main() {
 	k := flag.Int("k", 4, "fat-tree arity")
 	networks := flag.Int("networks", 120, "random scenarios to scan")
@@ -30,7 +65,13 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scenarios simulated concurrently")
 	metricsOut := flag.String("metrics-out", "", "write per-scheme merged metrics summaries (JSON)")
 	faultsFlag := flag.String("faults", "", "fault scenario: a preset name or a JSON spec file path,\ninjected into every simulated run (deterministic per -seed)")
+	scenarioFlag := flag.String("scenario", "", "run one declarative scenario instead of the sweep:\na registered name or a JSON spec file path")
 	flag.Parse()
+
+	if *scenarioFlag != "" {
+		runScenario(*scenarioFlag)
+		return
+	}
 
 	var faultSpec *gfc.FaultSpec
 	if *faultsFlag != "" {

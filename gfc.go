@@ -45,6 +45,7 @@ import (
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 	"github.com/gfcsim/gfc/internal/workload"
@@ -327,6 +328,54 @@ var (
 	FaultPreset = faults.Preset
 	// FaultPresetNames lists the built-in scenario names.
 	FaultPresetNames = faults.PresetNames
+)
+
+// Declarative scenarios: one JSON-serialisable Scenario declares topology,
+// routing, workload, scheme, faults and stop conditions, and BuildScenario
+// compiles it into a ready-to-run simulation. The registry carries every
+// paper figure's canonical setup plus the Clos-scale clos128-* scenarios.
+type (
+	// Scenario is a complete declarative experiment description.
+	Scenario = scenario.Spec
+	// ScenarioOverrides carries the runtime-only hooks (traces, prebuilt
+	// topologies, metrics) a serialised Scenario cannot express.
+	ScenarioOverrides = scenario.Overrides
+	// ScenarioSim is a built, ready-to-run scenario.
+	ScenarioSim = scenario.Sim
+	// ScenarioResult summarises one ScenarioSim.Run.
+	ScenarioResult = scenario.Result
+	// FC names a flow-control scheme in a Scenario.
+	FC = scenario.FC
+	// FCParams carries per-scheme parameters (thresholds, periods).
+	FCParams = scenario.FCParams
+)
+
+// The paper's flow-control schemes, as Scenario scheme names.
+const (
+	PFC           = scenario.PFC
+	CBFC          = scenario.CBFC
+	GFCBuffer     = scenario.GFCBuf
+	GFCTime       = scenario.GFCTime
+	GFCConceptual = scenario.GFCConceptual
+)
+
+// Scenario functions.
+var (
+	// BuildScenario compiles a Scenario (+ optional overrides) into a
+	// runnable simulation.
+	BuildScenario = scenario.Build
+	// ParseScenario decodes a JSON Scenario, rejecting unknown fields.
+	ParseScenario = scenario.Parse
+	// LoadScenario reads a Scenario from a JSON file.
+	LoadScenario = scenario.Load
+	// GetScenario returns a registered scenario by name.
+	GetScenario = scenario.Get
+	// ScenarioNames lists the registered scenarios.
+	ScenarioNames = scenario.Names
+	// RegisterScenario adds a Scenario to the registry.
+	RegisterScenario = scenario.Register
+	// AllFCs lists the paper's four schemes in presentation order.
+	AllFCs = scenario.AllFCs
 )
 
 // Workloads.

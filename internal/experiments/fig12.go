@@ -1,10 +1,11 @@
 package experiments
 
 import (
-	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 )
 
@@ -50,49 +51,72 @@ type CaseStudyConfig struct {
 	Metrics *metrics.Registry
 }
 
+// caseStudySpec assembles the Figure 12–14 flow set (see
+// FatTreeDeadlockScenario for the path derivations) as a Spec literal.
+func caseStudySpec(cfg CaseStudyConfig) scenario.Spec {
+	flows := []scenario.FlowSpec{
+		{ID: 1, Path: []string{"H0", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H8"}},
+		{ID: 2, Path: []string{"H4", "E3", "A3", "C2", "A7", "E7", "H12"}},
+		{ID: 3, Path: []string{"H9", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H1"}},
+		{ID: 4, Path: []string{"H13", "E7", "A7", "C1", "A3", "E3", "H5"}},
+	}
+	if cfg.Oversubscribed {
+		flows = append(flows,
+			scenario.FlowSpec{ID: 5, Path: []string{"H1", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H9"}},
+			scenario.FlowSpec{ID: 6, Path: []string{"H5", "E3", "A3", "C2", "A7", "E7", "H13"}},
+			scenario.FlowSpec{ID: 7, Path: []string{"H8", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H0"}},
+			scenario.FlowSpec{ID: 8, Path: []string{"H12", "E7", "A7", "C1", "A3", "E3", "H4"}},
+		)
+	}
+	if cfg.WithCross {
+		flows = append(flows,
+			scenario.FlowSpec{ID: 50, Path: []string{"H6", "E4", "A3", "C2", "A7", "E8", "H14"}})
+	}
+	if cfg.WithVictim {
+		flows = append(flows,
+			scenario.FlowSpec{ID: 99, Path: []string{"H12", "E7", "A7", "C2", "A3", "E3", "H4"}})
+	}
+	return scenario.Spec{
+		Name: "fig12-casestudy",
+		Topology: scenario.TopologySpec{
+			Builder:   "fat-tree",
+			K:         4,
+			FailLinks: []string{"C1-A5", "A1-C2", "E1-A2", "E5-A6"},
+		},
+		Workload: scenario.WorkloadSpec{Flows: flows},
+		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
+		Sim:      scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
+		Run:      scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+	}
+}
+
 // RunCaseStudy executes the fat-tree deadlock case study (Figures 12, 13
 // and, with WithVictim, 14) under one flow-control scheme.
 func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, units.Rate, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 100 * units.Millisecond
 	}
-	sc := NewFatTreeDeadlock()
-	simCfg, fp := SimParams()
-	simCfg.FlowControl = fp.Factory(cfg.FC)
-	simCfg.Scheduling = cfg.Scheduling
-	simCfg.Metrics = cfg.Metrics
-
 	tp := stats.NewBinCounter(100 * units.Microsecond)
-	simCfg.Trace = &netsim.Trace{
-		OnDeliver: func(t units.Time, _ *netsim.Flow, pkt *netsim.Packet) {
-			tp.Add(t, pkt.Size)
+	sim, err := scenario.Build(caseStudySpec(cfg), &scenario.Overrides{
+		Metrics: cfg.Metrics,
+		Trace: func(*topology.Topology) *netsim.Trace {
+			return &netsim.Trace{
+				OnDeliver: func(t units.Time, _ *netsim.Flow, pkt *netsim.Packet) {
+					tp.Add(t, pkt.Size)
+				},
+			}
 		},
-	}
-	net, err := netsim.New(sc.Topo, simCfg)
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	flows := sc.Flows()
-	if cfg.Oversubscribed {
-		flows = append(flows, sc.SiblingFlows()...)
-	}
-	if cfg.WithCross {
-		flows = append(flows, sc.CrossFlow())
-	}
-	for _, f := range flows {
-		if err := net.AddFlow(f, 0); err != nil {
-			return nil, 0, err
-		}
-	}
+	net := sim.Net
+	flows := sim.Flows
 	var victim *netsim.Flow
 	if cfg.WithVictim {
-		victim = sc.VictimFlow()
-		if err := net.AddFlow(victim, 0); err != nil {
-			return nil, 0, err
-		}
+		victim = flows[len(flows)-1]
+		flows = flows[:len(flows)-1]
 	}
-	det := deadlock.NewDetector(net)
-	det.Install()
 
 	// Run to the measurement window, snapshot, then finish. A heartbeat
 	// keeps the clock advancing through deadlocked (event-free) phases.
@@ -123,7 +147,7 @@ func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, units.Rate, error) {
 		Throughput: tp,
 		Drops:      net.Drops(),
 	}
-	if rep := det.Deadlocked(); rep != nil {
+	if rep := sim.Detector.Deadlocked(); rep != nil {
 		res.Deadlocked = true
 		res.DeadlockAt = rep.At
 	}

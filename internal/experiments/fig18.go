@@ -1,11 +1,11 @@
 package experiments
 
 import (
-	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
+	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
-	"github.com/gfcsim/gfc/internal/workload"
 )
 
 // EvolutionResult is one Figure 18 run: the network-wide average throughput
@@ -49,30 +49,35 @@ func DefaultEvolution(fc FC) EvolutionConfig {
 
 // RunEvolution executes one Figure 18 trace.
 func RunEvolution(cfg EvolutionConfig) (*EvolutionResult, error) {
-	topo, tab, _ := GenerateScenario(cfg.K, 0.05, cfg.Seed)
-	simCfg, fp := SimParams()
-	simCfg.FlowControl = fp.Factory(cfg.FC)
-
-	tp := stats.NewBinCounter(100 * units.Microsecond)
-	simCfg.Trace = &netsim.Trace{
-		OnDeliver: func(t units.Time, _ *netsim.Flow, pkt *netsim.Packet) {
-			tp.Add(t, pkt.Size)
+	spec := scenario.Spec{
+		Name: "fig18-evolution",
+		Topology: scenario.TopologySpec{
+			Builder: "fat-tree", K: cfg.K,
+			FailRandom: &scenario.FailRandomSpec{Prob: 0.05, Seed: cfg.Seed},
 		},
+		Routing:  scenario.RoutingSpec{Policy: "spf"},
+		Workload: scenario.WorkloadSpec{Generator: &scenario.GeneratorSpec{Dist: "enterprise", Seed: cfg.Workload}},
+		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
+		Run:      scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
 	}
-	net, err := netsim.New(topo, simCfg)
+	tp := stats.NewBinCounter(100 * units.Microsecond)
+	sim, err := scenario.Build(spec, &scenario.Overrides{
+		Trace: func(*topology.Topology) *netsim.Trace {
+			return &netsim.Trace{
+				OnDeliver: func(t units.Time, _ *netsim.Flow, pkt *netsim.Packet) {
+					tp.Add(t, pkt.Size)
+				},
+			}
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	gen := workload.NewGenerator(net, tab, workload.Enterprise(), workload.EdgeRacks(topo), cfg.Workload)
-	if err := gen.Start(); err != nil {
-		return nil, err
-	}
-	det := deadlock.NewDetector(net)
-	det.Install()
+	net := sim.Net
 	net.Run(cfg.Duration)
 
 	res := &EvolutionResult{FC: cfg.FC, Throughput: tp, Drops: net.Drops()}
-	if rep := det.Deadlocked(); rep != nil {
+	if rep := sim.Detector.Deadlocked(); rep != nil {
 		res.Deadlocked = true
 		res.DeadlockAt = rep.At
 	}

@@ -2,12 +2,9 @@ package experiments
 
 import (
 	"github.com/gfcsim/gfc/internal/metrics"
-	"github.com/gfcsim/gfc/internal/netsim"
-	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
-	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
-	"github.com/gfcsim/gfc/internal/workload"
 )
 
 // OverheadResult is the Figure 19 measurement: the distribution of per-port
@@ -42,25 +39,24 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	if cfg.FC == "" {
 		cfg.FC = GFCBuf
 	}
-	topo := topology.FatTree(cfg.K, topology.DefaultLinkParams())
-	tab := routing.NewSPF(topo)
-	simCfg, fp := SimParams()
-	simCfg.FlowControl = fp.Factory(cfg.FC)
-
+	spec := scenario.Spec{
+		Name:     "fig19-overhead",
+		Topology: scenario.TopologySpec{Builder: "fat-tree", K: cfg.K},
+		Routing:  scenario.RoutingSpec{Policy: "spf"},
+		Workload: scenario.WorkloadSpec{Generator: &scenario.GeneratorSpec{Dist: "enterprise", Seed: cfg.Seed}},
+		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
+		Run:      scenario.RunSpec{DurationNs: cfg.Duration},
+	}
 	// Per-channel feedback wire bytes come straight off the metrics
 	// registry: the run is stepped one bin at a time and each channel's
 	// cumulative FeedbackWire counter is differenced per step.
 	const bin = 500 * units.Microsecond
 	reg := metrics.New(metrics.Options{})
-	simCfg.Metrics = reg
-	net, err := netsim.New(topo, simCfg)
+	sim, err := scenario.Build(spec, &scenario.Overrides{Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
-	gen := workload.NewGenerator(net, tab, workload.Enterprise(), workload.EdgeRacks(topo), cfg.Seed)
-	if err := gen.Start(); err != nil {
-		return nil, err
-	}
+	net := sim.Net
 	nBins := int(cfg.Duration / bin)
 	nc := reg.NumChannels()
 	prev := make([]units.Size, nc)

@@ -3,7 +3,7 @@ package experiments
 import (
 	"github.com/gfcsim/gfc/internal/dcqcn"
 	"github.com/gfcsim/gfc/internal/netsim"
-	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -32,55 +32,63 @@ func RunFig20(duration units.Time) (*Fig20Result, error) {
 	}
 	// "All settings of buffer-based GFC are consistent with
 	// aforementioned simulations" (§7): 300 KB buffers, so the incast
-	// onset crosses B1 before DCQCN's end-to-end loop reacts.
-	topo := topology.Dumbbell(8, topology.DefaultLinkParams())
+	// onset crosses B1 before DCQCN's end-to-end loop reacts. Only the
+	// buffer size and GFC params come from the sim preset — the rest of
+	// the config keeps the netsim defaults, so the spec spells the two
+	// fields out rather than naming the preset.
 	simCfg, fp := SimParams()
-	cfg := netsim.Config{
-		BufferSize:   simCfg.BufferSize,
-		ECNThreshold: 40 * units.KB,
-		FlowControl:  fp.Factory(GFCBuf),
+	spec := scenario.Spec{
+		Name:     "fig20-incast",
+		Topology: scenario.TopologySpec{Builder: "dumbbell", N: 8},
+		Routing:  scenario.RoutingSpec{Policy: "spf"},
+		Workload: scenario.WorkloadSpec{Flows: []scenario.FlowSpec{
+			{ID: 1, Src: "H1", Dst: "H9"}, {ID: 2, Src: "H2", Dst: "H9"},
+			{ID: 3, Src: "H3", Dst: "H9"}, {ID: 4, Src: "H4", Dst: "H9"},
+			{ID: 5, Src: "H5", Dst: "H9"}, {ID: 6, Src: "H6", Dst: "H9"},
+			{ID: 7, Src: "H7", Dst: "H9"}, {ID: 8, Src: "H8", Dst: "H9"},
+		}},
+		Scheme: scenario.SchemeSpec{FC: GFCBuf, Params: fp},
+		Sim: scenario.SimSpec{
+			BufferBytes: simCfg.BufferSize,
+			ECNBytes:    40 * units.KB,
+		},
+		Run: scenario.RunSpec{DurationNs: duration},
 	}
 	res := &Fig20Result{
 		Queue:     &stats.Series{},
 		DCQCNRate: &stats.Series{},
 		GFCRate:   &stats.Series{},
 	}
-	s1 := topo.MustLookup("S1")
-	cfg.Trace = &netsim.Trace{
-		OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
-			if node == s1 && port == 0 {
-				res.Queue.Append(t, float64(q))
-			}
-			if node == s1 && units.Size(q) > res.MaxQueue {
-				res.MaxQueue = q
+	sim, err := scenario.Build(spec, &scenario.Overrides{
+		Trace: func(topo *topology.Topology) *netsim.Trace {
+			s1 := topo.MustLookup("S1")
+			return &netsim.Trace{
+				OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
+					if node == s1 && port == 0 {
+						res.Queue.Append(t, float64(q))
+					}
+					if node == s1 && units.Size(q) > res.MaxQueue {
+						res.MaxQueue = q
+					}
+				},
 			}
 		},
-	}
-	net, err := netsim.New(topo, cfg)
+		OnFlow: func(f *netsim.Flow, net *netsim.Network) error {
+			rp := dcqcn.Attach(net, f, dcqcn.DefaultConfig(10*units.Gbps))
+			if f.ID == 1 {
+				rp.RateLog = func(t units.Time, r units.Rate) {
+					res.DCQCNRate.Append(t, float64(r))
+				}
+			}
+			return nil
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	tab := routing.NewSPF(topo)
-	recv := topo.MustLookup("H9")
-	for i := 1; i <= 8; i++ {
-		src := topo.MustLookup(hostName(i))
-		path, err := tab.Path(src, recv, uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		f := &netsim.Flow{ID: i, Src: src, Dst: recv, Path: path}
-		rp := dcqcn.Attach(net, f, dcqcn.DefaultConfig(10*units.Gbps))
-		if i == 1 {
-			rp.RateLog = func(t units.Time, r units.Rate) {
-				res.DCQCNRate.Append(t, float64(r))
-			}
-		}
-		if err := net.AddFlow(f, 0); err != nil {
-			return nil, err
-		}
-	}
+	net := sim.Net
 	// Sample H1's GFC port rate periodically.
-	h1 := topo.MustLookup("H1")
+	h1 := sim.Topo.MustLookup("H1")
 	var sample func()
 	sample = func() {
 		res.GFCRate.Append(net.Now(), float64(net.SenderRate(h1, 0, 0)))
@@ -93,8 +101,4 @@ func RunFig20(duration units.Time) (*Fig20Result, error) {
 	res.FinalDCQCN = units.Rate(res.DCQCNRate.MeanAfter(duration * 3 / 4))
 	res.Drops = net.Drops()
 	return res, nil
-}
-
-func hostName(i int) string {
-	return string([]byte{'H', byte('0' + i)})
 }

@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/netsim"
-	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -33,60 +32,63 @@ func RunFig5(fc FC, duration units.Time) (*Fig5Result, error) {
 	if duration == 0 {
 		duration = 20 * units.Millisecond
 	}
-	topo := topology.TwoToOne(topology.DefaultLinkParams())
-	cfg := netsim.Config{
-		BufferSize: 120 * units.KB, // B ≥ Bm, a little slack above the mapping
-		Tau:        25 * units.Microsecond,
-		// Make the actual feedback latency match the illustration's
-		// τ = 25 µs (message wire time + 1 µs propagation + ProcDelay).
-		ProcDelay: 23950 * units.Nanosecond,
-	}
+	scheme := scenario.SchemeSpec{FC: fc}
 	switch fc {
 	case PFC:
-		cfg.FlowControl = flowcontrol.NewPFC(flowcontrol.PFCConfig{
-			XOFF: 80 * units.KB, XON: 77 * units.KB})
+		scheme.Params = scenario.FCParams{XOFF: 80 * units.KB, XON: 77 * units.KB}
 	case GFCBuf:
-		cfg.FlowControl = flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{
-			B1: 60 * units.KB, Bm: 110 * units.KB})
+		scheme.Params = scenario.FCParams{B1: 60 * units.KB, Bm: 110 * units.KB}
 	default:
-		cfg.FlowControl = flowcontrol.NewGFCConceptual(flowcontrol.GFCConceptualConfig{
-			B0: 50 * units.KB, Bm: 100 * units.KB})
+		// The figure's idealised design: continuous feedback with
+		// B0 = 50 KB, Bm = 100 KB regardless of the label asked for.
+		scheme.FC = GFCConceptual
+		scheme.Params = scenario.FCParams{B0: 50 * units.KB, Bm: 100 * units.KB}
+	}
+	spec := scenario.Spec{
+		Name:     "fig5-two-to-one",
+		Topology: scenario.TopologySpec{Builder: "two-to-one"},
+		Routing:  scenario.RoutingSpec{Policy: "spf"},
+		Workload: scenario.WorkloadSpec{Flows: []scenario.FlowSpec{
+			{ID: 1, Src: "H1", Dst: "H3"},
+			{ID: 2, Src: "H2", Dst: "H3"},
+		}},
+		Scheme: scheme,
+		Sim: scenario.SimSpec{
+			BufferBytes: 120 * units.KB, // B ≥ Bm, a little slack above the mapping
+			TauNs:       25 * units.Microsecond,
+			// Make the actual feedback latency match the illustration's
+			// τ = 25 µs (message wire time + 1 µs propagation +
+			// ProcDelay).
+			ProcDelayNs: 23950 * units.Nanosecond,
+		},
+		Run: scenario.RunSpec{DurationNs: duration},
 	}
 
 	res := &Fig5Result{FC: fc, Queue: &stats.Series{}, Rate: &stats.Series{}}
 	arrivals := stats.NewBinCounter(25 * units.Microsecond)
-	var h1 topology.NodeID
-	s1 := topo.MustLookup("S1")
-	h1 = topo.MustLookup("H1")
-	cfg.Trace = &netsim.Trace{
-		OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
-			// Monitor the ingress from H1 (port 0 on S1).
-			if node == s1 && port == 0 {
-				res.Queue.Append(t, float64(q))
+	sim, err := scenario.Build(spec, &scenario.Overrides{
+		Trace: func(topo *topology.Topology) *netsim.Trace {
+			s1 := topo.MustLookup("S1")
+			h1 := topo.MustLookup("H1")
+			return &netsim.Trace{
+				OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
+					// Monitor the ingress from H1 (port 0 on S1).
+					if node == s1 && port == 0 {
+						res.Queue.Append(t, float64(q))
+					}
+				},
+				OnArrival: func(t units.Time, node topology.NodeID, pkt *netsim.Packet) {
+					if node == s1 && pkt.Flow.Src == h1 {
+						arrivals.Add(t, pkt.Size)
+					}
+				},
 			}
 		},
-		OnArrival: func(t units.Time, node topology.NodeID, pkt *netsim.Packet) {
-			if node == s1 && pkt.Flow.Src == h1 {
-				arrivals.Add(t, pkt.Size)
-			}
-		},
-	}
-	net, err := netsim.New(topo, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	tab := routing.NewSPF(topo)
-	for i, src := range []string{"H1", "H2"} {
-		s := topo.MustLookup(src)
-		d := topo.MustLookup("H3")
-		path, err := tab.Path(s, d, uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		if err := net.AddFlow(&netsim.Flow{ID: i + 1, Src: s, Dst: d, Path: path}, 0); err != nil {
-			return nil, err
-		}
-	}
+	net := sim.Net
 	net.Run(duration)
 	for i, r := range arrivals.Rates() {
 		res.Rate.Append(units.Time(i)*arrivals.Width, float64(r))

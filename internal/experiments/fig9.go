@@ -5,7 +5,7 @@ import (
 	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
-	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -79,7 +79,8 @@ func RingTopology(hostsPerSwitch int) *topology.Topology {
 }
 
 // RunRing executes the §6.1 ring experiment under one scheme with the
-// testbed parameters (1 MB buffers, τ = 90 µs).
+// testbed parameters (1 MB buffers, τ = 90 µs). It is a thin Spec literal
+// over scenario.Build; only the figure's own trace collection stays here.
 func RunRing(cfg RingConfig) (*RingResult, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = 60 * units.Millisecond
@@ -87,61 +88,58 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	if cfg.HostsPerSwitch == 0 {
 		cfg.HostsPerSwitch = 1
 	}
-	topo := RingTopology(cfg.HostsPerSwitch)
-	simCfg, fp := TestbedParams()
+	spec := scenario.Spec{
+		Name:     "fig9-ring",
+		Topology: scenario.TopologySpec{Builder: "ring", N: 3, HostsPerSwitch: cfg.HostsPerSwitch},
+		Workload: scenario.WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme: scenario.SchemeSpec{
+			FC: cfg.FC, Preset: "testbed",
+			Params: scenario.FCParams{Refresh: cfg.Refresh},
+		},
+		Sim: scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
+		Run: scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+	}
 	if cfg.Tau > 0 {
-		simCfg.Tau = cfg.Tau
-		// Re-derive the GFC thresholds for the new τ so the safety
-		// bounds hold (B1 ≤ Bm − 2Cτ with Bm defaulted by the
-		// factory).
+		// Tau ablation: re-derive the GFC thresholds for the new τ so
+		// the safety bounds hold (B1 ≤ Bm − 2Cτ with Bm defaulted by
+		// the factory). The preset's B1/B0 are pinned for τ = 90 µs,
+		// so spell the params out instead of overlaying.
+		simCfg, fp := TestbedParams()
 		fp.B1 = 0
 		fp.B0 = 0
-	}
-	fp.Refresh = cfg.Refresh
-	simCfg.FlowControl = fp.Factory(cfg.FC)
-	simCfg.Scheduling = cfg.Scheduling
-	simCfg.Metrics = cfg.Metrics
-	var inj *faults.Injector
-	if cfg.Faults != nil {
-		inj = cfg.Faults.NewInjector(cfg.FaultSeed)
-		simCfg.Faults = inj
+		fp.Refresh = cfg.Refresh
+		spec.Scheme = scenario.SchemeSpec{FC: cfg.FC, Params: fp}
+		spec.Sim.BufferBytes = simCfg.BufferSize
+		spec.Sim.TauNs = cfg.Tau
 	}
 
 	res := &RingResult{FC: cfg.FC, Queue: &stats.Series{}, Rate: &stats.Series{}}
-	s1 := topo.MustLookup("S1")
-	h1 := topo.MustLookup("H1")
 	arrivals := stats.NewBinCounter(100 * units.Microsecond)
-	simCfg.Trace = &netsim.Trace{
-		OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
-			if node == s1 && port == 0 {
-				res.Queue.Append(t, float64(q))
+	sim, err := scenario.Build(spec, &scenario.Overrides{
+		Metrics:   cfg.Metrics,
+		FaultPlan: cfg.Faults,
+		FaultSeed: cfg.FaultSeed,
+		Trace: func(topo *topology.Topology) *netsim.Trace {
+			s1 := topo.MustLookup("S1")
+			h1 := topo.MustLookup("H1")
+			return &netsim.Trace{
+				OnQueue: func(t units.Time, node topology.NodeID, port, _ int, q units.Size) {
+					if node == s1 && port == 0 {
+						res.Queue.Append(t, float64(q))
+					}
+				},
+				OnArrival: func(t units.Time, node topology.NodeID, pkt *netsim.Packet) {
+					if node == s1 && pkt.Flow.Src == h1 {
+						arrivals.Add(t, pkt.Size)
+					}
+				},
 			}
 		},
-		OnArrival: func(t units.Time, node topology.NodeID, pkt *netsim.Packet) {
-			if node == s1 && pkt.Flow.Src == h1 {
-				arrivals.Add(t, pkt.Size)
-			}
-		},
-	}
-	net, err := netsim.New(topo, simCfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	var flows []*netsim.Flow
-	for i, path := range routing.RingHostsClockwisePaths(topo, 3, cfg.HostsPerSwitch) {
-		f := &netsim.Flow{
-			ID:   i + 1,
-			Src:  path[0].Node,
-			Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
-			Path: path,
-		}
-		if err := net.AddFlow(f, 0); err != nil {
-			return nil, err
-		}
-		flows = append(flows, f)
-	}
-	det := deadlock.NewDetector(net)
-	det.Install()
+	net := sim.Net
 	net.Run(cfg.Duration)
 
 	for i, r := range arrivals.Rates() {
@@ -150,16 +148,16 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	res.SteadyQueue = units.Size(res.Queue.MeanAfter(cfg.Duration * 3 / 4))
 	res.SteadyRate = units.Rate(res.Rate.MeanAfter(cfg.Duration * 3 / 4))
 	res.Drops = net.Drops()
-	for i, f := range flows {
+	for i, f := range sim.Flows {
 		res.Delivered += f.Delivered
 		if i == 0 || f.Delivered < res.MinFlow {
 			res.MinFlow = f.Delivered
 		}
 	}
-	if inj != nil {
-		res.FaultStats = inj.Stats()
+	if sim.Injector != nil {
+		res.FaultStats = sim.Injector.Stats()
 	}
-	if rep := det.Deadlocked(); rep != nil {
+	if rep := sim.Detector.Deadlocked(); rep != nil {
 		res.Deadlocked = true
 		res.DeadlockAt = rep.At
 		res.DeadlockKind = rep.Kind

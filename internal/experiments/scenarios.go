@@ -5,105 +5,44 @@
 package experiments
 
 import (
-	"fmt"
-
-	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/topology"
-	"github.com/gfcsim/gfc/internal/units"
 )
 
-// FC names a flow-control scheme under evaluation.
-type FC string
+// FC, FCParams and the paper's parameter presets live in internal/scenario
+// (the declarative layer every driver compiles through); the aliases below
+// keep this package's historical API intact.
+type (
+	// FC names a flow-control scheme under evaluation.
+	FC = scenario.FC
+	// FCParams carries the per-scheme parameters of one experimental
+	// setup.
+	FCParams = scenario.FCParams
+)
 
 // The four schemes of the paper's comparison, plus the conceptual design of
 // §4.1 (continuous feedback; used by the Figure 5 illustration only).
 const (
-	PFC           FC = "PFC"
-	CBFC          FC = "CBFC"
-	GFCBuf        FC = "GFC-buffer"
-	GFCTime       FC = "GFC-time"
-	GFCConceptual FC = "GFC-conceptual"
+	PFC           = scenario.PFC
+	CBFC          = scenario.CBFC
+	GFCBuf        = scenario.GFCBuf
+	GFCTime       = scenario.GFCTime
+	GFCConceptual = scenario.GFCConceptual
 )
 
 // AllFCs lists the four schemes in the paper's presentation order.
-func AllFCs() []FC { return []FC{PFC, GFCBuf, CBFC, GFCTime} }
-
-// IsGFC reports whether the scheme is one of the GFC variants.
-func (fc FC) IsGFC() bool { return fc == GFCBuf || fc == GFCTime }
-
-// FCParams carries the per-scheme parameters of one experimental setup.
-type FCParams struct {
-	XOFF, XON units.Size // PFC
-	B1        units.Size // buffer-based GFC first threshold
-	Bm        units.Size // GFC mapping ceiling (0 = derive)
-	Period    units.Time // CBFC / time-based GFC feedback period
-	B0        units.Size // time-based GFC threshold
-	// Refresh is buffer-based GFC's periodic stage re-advertisement
-	// (loss repair); zero keeps the paper's pure edge-triggered feedback.
-	Refresh units.Time
-}
-
-// Factory returns the flowcontrol.Factory for scheme fc under params p.
-func (p FCParams) Factory(fc FC) flowcontrol.Factory {
-	switch fc {
-	case PFC:
-		if p.XOFF > 0 {
-			return flowcontrol.NewPFC(flowcontrol.PFCConfig{XOFF: p.XOFF, XON: p.XON})
-		}
-		return flowcontrol.NewPFCDefault()
-	case CBFC:
-		return flowcontrol.NewCBFC(flowcontrol.CBFCConfig{Period: p.Period})
-	case GFCBuf:
-		return flowcontrol.NewGFCBuffer(flowcontrol.GFCBufferConfig{B1: p.B1, Bm: p.Bm, Refresh: p.Refresh})
-	case GFCTime:
-		return flowcontrol.NewGFCTime(flowcontrol.GFCTimeConfig{Period: p.Period, B0: p.B0, Bm: p.Bm})
-	default:
-		panic(fmt.Sprintf("experiments: unknown scheme %q", fc))
-	}
-}
+var AllFCs = scenario.AllFCs
 
 // TestbedParams are the §6.1 software-testbed settings: 1 MB buffers,
 // τ = 90 µs, XOFF/XON = 800/797 KB, B1 = 750 KB, T = 52.4 µs, B0 = 492 KB.
-func TestbedParams() (netsim.Config, FCParams) {
-	cfg := netsim.Config{
-		BufferSize: 1000 * units.KB,
-		Tau:        90 * units.Microsecond,
-	}
-	fp := FCParams{
-		XOFF:   800 * units.KB,
-		XON:    797 * units.KB,
-		B1:     750 * units.KB,
-		Period: 52400 * units.Nanosecond,
-		B0:     492 * units.KB,
-	}
-	return cfg, fp
-}
+func TestbedParams() (netsim.Config, FCParams) { return scenario.TestbedParams() }
 
 // SimParams are the §6.2.2 packet-level simulation settings: 300 KB buffers,
-// 10 Gb/s, 1 µs propagation, XOFF/XON = 280/277 KB.
-//
-// The paper sets B_m = B = 300 KB and B1 = 281 KB / B0 = 159 KB. Because the
-// practical step mapping keeps a positive floor rate at its deepest stage
-// (§4.2), a fully stopped drain can push the queue a few packets past B_m;
-// we keep four MTUs of headroom (B_m = 294 KB) and shift B1/B0 down by the
-// same margin so the paper's own safety bounds still hold and losslessness
-// stays strict.
-func SimParams() (netsim.Config, FCParams) {
-	cfg := netsim.Config{
-		BufferSize: 300 * units.KB,
-	}
-	fp := FCParams{
-		XOFF:   280 * units.KB,
-		XON:    277 * units.KB,
-		B1:     275 * units.KB,
-		Bm:     294 * units.KB,
-		Period: 52400 * units.Nanosecond,
-		B0:     153 * units.KB,
-	}
-	return cfg, fp
-}
+// 10 Gb/s, 1 µs propagation, XOFF/XON = 280/277 KB (see
+// scenario.SimParams for the B_m headroom rationale).
+func SimParams() (netsim.Config, FCParams) { return scenario.SimParams() }
 
 // FatTreeDeadlockScenario is the Figure 11/12 case study: a k=4 fat-tree
 // with link failures that force shortest paths into a 4-channel cyclic

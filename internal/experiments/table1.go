@@ -5,11 +5,11 @@ import (
 	"math/rand"
 
 	"github.com/gfcsim/gfc/internal/cbd"
-	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/runner"
+	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -99,31 +99,36 @@ func GenerateScenario(k int, p float64, seed int64) (*topology.Topology, *routin
 	return topo, tab, g.HasCycle()
 }
 
-// RunScenario executes one workload repetition on a prepared scenario.
+// RunScenario executes one workload repetition on a prepared scenario. The
+// topology and routing table are supplied prebuilt (sweeps reuse them across
+// repeats), so the Spec's topology section is documentation only.
 func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
-	simCfg, fp := SimParams()
-	simCfg.FlowControl = fp.Factory(fc)
-	simCfg.Scheduling = cfg.Scheduling
-
+	spec := scenario.Spec{
+		Name:     "table1-repeat",
+		Topology: scenario.TopologySpec{Builder: "fat-tree", K: cfg.K},
+		Routing:  scenario.RoutingSpec{Policy: "spf"},
+		Workload: scenario.WorkloadSpec{Generator: &scenario.GeneratorSpec{
+			Dist: "enterprise", FlowsPerHost: cfg.FlowsPerHost, Seed: repeatSeed,
+		}},
+		Scheme: scenario.SchemeSpec{FC: fc, Preset: "sim"},
+		Sim:    scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
+		Run:    scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+	}
 	// The metrics registry supplies the feedback-byte accounting the
 	// bespoke Trace closure used to keep.
 	reg := metrics.New(metrics.Options{})
-	simCfg.Metrics = reg
-	net, err := netsim.New(topo, simCfg)
+	sim, err := scenario.Build(spec, &scenario.Overrides{
+		Topo: topo, Table: tab, Metrics: reg,
+	})
 	if err != nil {
 		return nil, err
 	}
-	gen := workload.NewGenerator(net, tab, workload.Enterprise(), workload.EdgeRacks(topo), repeatSeed)
-	gen.FlowsPerHost = cfg.FlowsPerHost
-	if err := gen.Start(); err != nil {
-		return nil, err
-	}
-	det := deadlock.NewDetector(net)
-	det.Install()
+	net := sim.Net
+	gen := sim.Gen
 	net.Run(cfg.Duration)
 
 	res := &ScenarioResult{Drops: net.Drops()}
-	if rep := det.Deadlocked(); rep != nil {
+	if rep := sim.Detector.Deadlocked(); rep != nil {
 		res.Deadlocked = true
 		res.DeadlockAt = rep.At
 	}

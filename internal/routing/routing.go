@@ -7,6 +7,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -90,8 +91,11 @@ func (tab *Table) Reachable(n, dst topology.NodeID) bool {
 	return ok
 }
 
-// NextHops returns the attachments of n on shortest paths toward dst, in
-// port order. Empty when dst is unreachable.
+// NextHops returns the attachments of n on shortest paths toward dst,
+// ordered by ascending peer NodeID (then port). The ordering is a semantic
+// guarantee, not an iteration accident: ECMP selection indexes into this
+// slice, so it must not depend on the order links were inserted into the
+// topology. Empty when dst is unreachable.
 func (tab *Table) NextHops(n, dst topology.NodeID) []topology.Attachment {
 	d, known := tab.dist[dst]
 	if !known || d[n] >= unreachable || n == dst {
@@ -109,6 +113,12 @@ func (tab *Table) NextHops(n, dst topology.NodeID) []topology.Attachment {
 			out = append(out, at)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Peer != out[j].Peer {
+			return out[i].Peer < out[j].Peer
+		}
+		return out[i].Port < out[j].Port
+	})
 	return out
 }
 

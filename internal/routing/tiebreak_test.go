@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// diamond builds H1–S1–{S2,S3}–S4–H2 with the four fabric links inserted in
+// the given order (indices into the canonical link list). The node set — and
+// hence every NodeID — is identical across permutations; only the adjacency
+// (port) order varies.
+func diamond(order []int) *topology.Topology {
+	topo := topology.New("diamond")
+	h1 := topo.AddHost("H1")
+	s1 := topo.AddSwitch("S1")
+	s2 := topo.AddSwitch("S2")
+	s3 := topo.AddSwitch("S3")
+	s4 := topo.AddSwitch("S4")
+	h2 := topo.AddHost("H2")
+	links := [][2]topology.NodeID{
+		{s1, s2}, {s1, s3}, {s2, s4}, {s3, s4},
+	}
+	topo.AddLink(h1, s1, 10*units.Gbps, units.Microsecond)
+	for _, i := range order {
+		topo.AddLink(links[i][0], links[i][1], 10*units.Gbps, units.Microsecond)
+	}
+	topo.AddLink(s4, h2, 10*units.Gbps, units.Microsecond)
+	return topo
+}
+
+// TestNextHopsInsertionOrderIndependent is the equal-cost tie-break
+// regression test: the ECMP candidate list (and therefore every hashed path
+// choice) must not depend on the order links were added to the topology.
+func TestNextHopsInsertionOrderIndependent(t *testing.T) {
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{1, 0, 3, 2},
+		{3, 2, 1, 0},
+		{2, 3, 0, 1},
+		{1, 3, 0, 2},
+	}
+	type pick struct {
+		hops  []topology.NodeID
+		paths map[uint64]string
+	}
+	var want *pick
+	for _, order := range orders {
+		topo := diamond(order)
+		tab := NewSPF(topo)
+		s1 := topo.MustLookup("S1")
+		h1 := topo.MustLookup("H1")
+		h2 := topo.MustLookup("H2")
+
+		nh := tab.NextHops(s1, h2)
+		if len(nh) != 2 {
+			t.Fatalf("order %v: NextHops(S1,H2) has %d entries, want 2", order, len(nh))
+		}
+		got := &pick{paths: map[uint64]string{}}
+		for _, at := range nh {
+			got.hops = append(got.hops, at.Peer)
+		}
+		for i := 0; i+1 < len(got.hops); i++ {
+			if got.hops[i] >= got.hops[i+1] {
+				t.Fatalf("order %v: NextHops peers not ascending: %v", order, got.hops)
+			}
+		}
+		for key := uint64(0); key < 64; key++ {
+			path, err := tab.Path(h1, h2, key)
+			if err != nil {
+				t.Fatalf("order %v key %d: %v", order, key, err)
+			}
+			var s string
+			for _, hop := range path {
+				s += topo.Node(hop.Node).Name + ">"
+			}
+			got.paths[key] = s
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want.hops {
+			if got.hops[i] != want.hops[i] {
+				t.Fatalf("order %v: NextHops = %v, want %v (insertion order leaked into ECMP)",
+					order, got.hops, want.hops)
+			}
+		}
+		for key, p := range want.paths {
+			if got.paths[key] != p {
+				t.Fatalf("order %v key %d: path %q, want %q (insertion order leaked into ECMP)",
+					order, key, got.paths[key], p)
+			}
+		}
+	}
+}

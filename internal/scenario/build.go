@@ -1,0 +1,485 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gfcsim/gfc/internal/deadlock"
+	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+	"github.com/gfcsim/gfc/internal/workload"
+)
+
+// Overrides carry the runtime-only hooks a Spec cannot serialise. All fields
+// are optional; the zero value builds the spec exactly as written.
+type Overrides struct {
+	// Trace builds the run's observation hooks once the topology exists
+	// (closures usually capture node IDs). Installed before the network
+	// is constructed, like every hand-written driver did.
+	Trace func(*topology.Topology) *netsim.Trace
+	// Metrics attaches a fresh registry to the simulation.
+	Metrics *metrics.Registry
+	// Topo supplies a prebuilt topology, skipping the spec's builder
+	// (sweeps reuse one topology across repeats).
+	Topo *topology.Topology
+	// Table supplies a prebuilt routing table, skipping the spec's
+	// routing policy.
+	Table *routing.Table
+	// FaultPlan supplies a compiled fault plan, skipping the spec's
+	// faults section; FaultSeed seeds its injector.
+	FaultPlan *faults.Plan
+	FaultSeed int64
+	// OnFlow runs for each declared flow after construction and before
+	// AddFlow — the hook congestion-control attachments (DCQCN) need.
+	OnFlow func(*netsim.Flow, *netsim.Network) error
+}
+
+// Sim is a built, ready-to-run scenario: the network plus handles to every
+// subsystem the spec instantiated.
+type Sim struct {
+	Spec     Spec
+	Topo     *topology.Topology
+	Table    *routing.Table
+	Net      *netsim.Network
+	// Flows lists the declared flows in add order (pattern or Flows
+	// section; generator flows are not included).
+	Flows    []*netsim.Flow
+	Gen      *workload.Generator
+	Detector *deadlock.Detector
+	Injector *faults.Injector
+	Metrics  *metrics.Registry
+}
+
+// Build compiles a Spec (plus optional Overrides) into a runnable Sim. The
+// construction order is fixed — topology, routing, config, faults, network,
+// flows, generator, detector — because it is the order every hand-written
+// driver used, and event determinism (the golden trace hashes) depends on
+// subsystems consuming their private random sources in that order.
+func Build(spec Spec, ov *Overrides) (*Sim, error) {
+	if ov == nil {
+		ov = &Overrides{}
+	}
+
+	topo := ov.Topo
+	if topo == nil {
+		if err := spec.Topology.validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		if topo, err = buildTopology(spec.Topology); err != nil {
+			return nil, err
+		}
+	}
+
+	tab := ov.Table
+	if tab == nil {
+		if err := spec.Routing.validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		if tab, err = buildRouting(spec, topo); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := spec.Workload.validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := spec.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	if ov.Trace != nil {
+		cfg.Trace = ov.Trace(topo)
+	}
+	cfg.Metrics = ov.Metrics
+
+	plan := ov.FaultPlan
+	faultSeed := ov.FaultSeed
+	if plan == nil && spec.Faults != nil {
+		if err := spec.Faults.validate(); err != nil {
+			return nil, err
+		}
+		fs := spec.Faults.Inline
+		if fs == nil {
+			if fs, err = faults.Preset(spec.Faults.Preset); err != nil {
+				return nil, err
+			}
+		}
+		if plan, err = fs.Compile(topo); err != nil {
+			return nil, fmt.Errorf("scenario: compiling faults: %w", err)
+		}
+		faultSeed = spec.Faults.Seed
+		if faultSeed == 0 {
+			faultSeed = spec.Seed
+		}
+	}
+	var inj *faults.Injector
+	if plan != nil {
+		inj = plan.NewInjector(faultSeed)
+		cfg.Faults = inj
+	}
+
+	net, err := netsim.New(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Sim{
+		Spec: spec, Topo: topo, Table: tab, Net: net,
+		Injector: inj, Metrics: ov.Metrics,
+	}
+
+	if err := sim.addFlows(ov); err != nil {
+		return nil, err
+	}
+	if g := spec.Workload.Generator; g != nil {
+		if tab == nil {
+			return nil, fmt.Errorf("scenario: workload generator needs a routing table (set routing policy spf)")
+		}
+		dist, err := buildDist(g)
+		if err != nil {
+			return nil, err
+		}
+		seed := g.Seed
+		if seed == 0 {
+			seed = spec.Seed
+		}
+		gen := workload.NewGenerator(net, tab, dist, workload.EdgeRacks(topo), seed)
+		gen.FlowsPerHost = g.FlowsPerHost
+		gen.Priority = g.Priority
+		if err := gen.Start(); err != nil {
+			return nil, err
+		}
+		sim.Gen = gen
+	}
+	if spec.Run.DetectDeadlock || spec.Run.StopOnDeadlock {
+		det := deadlock.NewDetector(net)
+		det.Install()
+		sim.Detector = det
+	}
+	return sim, nil
+}
+
+// Result summarises one Sim.Run.
+type Result struct {
+	Name         string
+	FC           FC
+	End          units.Time
+	Deadlocked   bool
+	DeadlockAt   units.Time
+	DeadlockKind deadlock.Kind
+	Drops        int64
+	Delivered    units.Size
+	// Violations is the attached registry's invariant-violation count
+	// (zero when no registry was attached).
+	Violations int64
+	FaultStats faults.Stats
+}
+
+// Run executes the built scenario to its declared duration (honouring
+// StopOnDeadlock and Quiesce) and collects the summary verdict.
+func (s *Sim) Run() *Result {
+	d := s.Spec.Run.DurationNs
+	eng := s.Net.Engine()
+	if s.Spec.Run.StopOnDeadlock && s.Detector != nil {
+		// Poll at the detector's own cadence; once it has a report,
+		// stop the engine after the in-flight event.
+		var watch func()
+		watch = func() {
+			if s.Detector.Deadlocked() != nil {
+				eng.Stop()
+				return
+			}
+			eng.After(s.Detector.Interval, watch)
+		}
+		eng.After(s.Detector.Interval, watch)
+	}
+	if s.Spec.Run.Quiesce {
+		for eng.Pending() > 0 && s.Net.Now() < d {
+			if !eng.Step() {
+				break
+			}
+		}
+	} else {
+		// A heartbeat pins the horizon so the clock reaches d even if
+		// the event queue drains early (deadlock, finished workload).
+		eng.Schedule(d, func() {})
+		s.Net.Run(d)
+	}
+
+	res := &Result{
+		Name:      s.Spec.Name,
+		FC:        s.Spec.Scheme.FC,
+		End:       s.Net.Now(),
+		Drops:     s.Net.Drops(),
+		Delivered: s.Net.TotalDelivered(),
+	}
+	if s.Detector != nil {
+		if rep := s.Detector.Deadlocked(); rep != nil {
+			res.Deadlocked = true
+			res.DeadlockAt = rep.At
+			res.DeadlockKind = rep.Kind
+		}
+	}
+	if s.Metrics != nil {
+		res.Violations = s.Metrics.Summary().Violations
+	}
+	if s.Injector != nil {
+		res.FaultStats = s.Injector.Stats()
+	}
+	return res
+}
+
+func buildTopology(t TopologySpec) (*topology.Topology, error) {
+	p := topology.DefaultLinkParams()
+	if t.CapacityBps != 0 {
+		p.Capacity = t.CapacityBps
+	}
+	if t.DelayNs != 0 {
+		p.Delay = t.DelayNs
+	}
+	var topo *topology.Topology
+	switch t.Builder {
+	case "ring":
+		h := t.HostsPerSwitch
+		if h == 0 {
+			h = 1
+		}
+		topo = topology.RingHosts(t.n(), h, p)
+	case "fat-tree":
+		topo = topology.FatTree(t.K, p)
+	case "dumbbell":
+		topo = topology.Dumbbell(t.N, p)
+	case "linear":
+		topo = topology.Linear(t.N, p)
+	case "two-to-one":
+		topo = topology.TwoToOne(p)
+	default:
+		return nil, fmt.Errorf("scenario: topology: unknown builder %q", t.Builder)
+	}
+	for _, pair := range t.FailLinks {
+		a, b, err := splitLink(pair)
+		if err != nil {
+			return nil, err
+		}
+		na, ok := topo.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("scenario: topology: fail_links %q: no node named %q", pair, a)
+		}
+		nb, ok := topo.Lookup(b)
+		if !ok {
+			return nil, fmt.Errorf("scenario: topology: fail_links %q: no node named %q", pair, b)
+		}
+		if topo.LinkBetween(na, nb) == nil {
+			return nil, fmt.Errorf("scenario: topology: no live link %q to fail", pair)
+		}
+		topo.FailLinkBetween(a, b)
+	}
+	if fr := t.FailRandom; fr != nil {
+		topo.FailRandomLinks(rand.New(rand.NewSource(fr.Seed)), fr.Prob)
+	}
+	return topo, nil
+}
+
+func splitLink(pair string) (string, string, error) {
+	for i := 0; i < len(pair); i++ {
+		if pair[i] == '-' {
+			return pair[:i], pair[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("scenario: topology: fail_links entry %q is not \"A-B\"", pair)
+}
+
+func buildRouting(spec Spec, topo *topology.Topology) (*routing.Table, error) {
+	switch spec.Routing.Policy {
+	case "spf":
+		return routing.NewSPF(topo), nil
+	case "spf-toward":
+		dsts := make([]topology.NodeID, 0, len(spec.Routing.Toward))
+		for _, name := range spec.Routing.Toward {
+			id, ok := topo.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("scenario: routing: no node named %q", name)
+			}
+			dsts = append(dsts, id)
+		}
+		return routing.NewSPFToward(topo, dsts), nil
+	case "none":
+		return nil, nil
+	default: // "auto", "": build SPF only if something needs a table.
+		if spec.needsRouting() {
+			return routing.NewSPF(topo), nil
+		}
+		return nil, nil
+	}
+}
+
+// needsRouting reports whether any workload element resolves paths through a
+// routing table.
+func (s *Spec) needsRouting() bool {
+	if s.Workload.Generator != nil {
+		return true
+	}
+	for _, f := range s.Workload.Flows {
+		if len(f.Path) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// simConfig composes the netsim.Config from the scheme preset and Sim
+// overrides, and resolves the flow-control factory.
+func (s *Spec) simConfig() (netsim.Config, error) {
+	if err := s.Scheme.validate(); err != nil {
+		return netsim.Config{}, err
+	}
+	if err := s.Sim.validate(); err != nil {
+		return netsim.Config{}, err
+	}
+	var cfg netsim.Config
+	var fp FCParams
+	switch s.Scheme.Preset {
+	case "testbed":
+		cfg, fp = TestbedParams()
+	case "sim":
+		cfg, fp = SimParams()
+	}
+	fp = fp.merge(s.Scheme.Params)
+	m := s.Sim
+	if m.BufferBytes != 0 {
+		cfg.BufferSize = m.BufferBytes
+	}
+	if m.MTUBytes != 0 {
+		cfg.MTU = m.MTUBytes
+	}
+	if m.Priorities != 0 {
+		cfg.Priorities = m.Priorities
+	}
+	if m.ProcDelayNs != 0 {
+		cfg.ProcDelay = m.ProcDelayNs
+	}
+	if m.TauNs != 0 {
+		cfg.Tau = m.TauNs
+	}
+	if m.ECNBytes != 0 {
+		cfg.ECNThreshold = m.ECNBytes
+	}
+	if m.HostQueueDepth != 0 {
+		cfg.HostQueueDepth = m.HostQueueDepth
+	}
+	if m.TxRing != 0 {
+		cfg.TxRing = m.TxRing
+	}
+	if m.FeedbackJitterNs != 0 {
+		cfg.FeedbackJitter = m.FeedbackJitterNs
+		cfg.JitterSeed = m.JitterSeed
+	}
+	sched, err := parseScheduling(m.Scheduling)
+	if err != nil {
+		return netsim.Config{}, err
+	}
+	cfg.Scheduling = sched
+	cfg.FlowControl = fp.Factory(s.Scheme.FC)
+	return cfg, nil
+}
+
+// addFlows instantiates the pattern or declared flows, in order.
+func (s *Sim) addFlows(ov *Overrides) error {
+	w := s.Spec.Workload
+	if w.Pattern == "ring-clockwise" {
+		t := s.Spec.Topology
+		h := t.HostsPerSwitch
+		if h == 0 {
+			h = 1
+		}
+		if t.Builder != "ring" {
+			return fmt.Errorf("scenario: pattern ring-clockwise needs the ring builder, not %q", t.Builder)
+		}
+		for i, path := range routing.RingHostsClockwisePaths(s.Topo, t.n(), h) {
+			f := &netsim.Flow{
+				ID:   i + 1,
+				Src:  path[0].Node,
+				Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
+				Path: path,
+			}
+			if err := s.add(f, 0, ov); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, fs := range w.Flows {
+		id := fs.ID
+		if id == 0 {
+			id = i + 1
+		}
+		f := &netsim.Flow{
+			ID:       id,
+			Size:     fs.SizeBytes,
+			Priority: fs.Priority,
+		}
+		if len(fs.Path) > 0 {
+			path, err := routing.ExplicitPath(s.Topo, fs.Path...)
+			if err != nil {
+				return fmt.Errorf("scenario: flows[%d]: %w", i, err)
+			}
+			f.Src = path[0].Node
+			f.Dst = path[len(path)-1].Link.Other(path[len(path)-1].Node)
+			f.Path = path
+		} else {
+			if s.Table == nil {
+				return fmt.Errorf("scenario: flows[%d]: src/dst flow needs a routing table (set routing policy spf)", i)
+			}
+			src, ok := s.Topo.Lookup(fs.Src)
+			if !ok {
+				return fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Src)
+			}
+			dst, ok := s.Topo.Lookup(fs.Dst)
+			if !ok {
+				return fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Dst)
+			}
+			path, err := s.Table.Path(src, dst, uint64(id))
+			if err != nil {
+				return fmt.Errorf("scenario: flows[%d]: %w", i, err)
+			}
+			f.Src = src
+			f.Dst = dst
+			f.Path = path
+		}
+		if err := s.add(f, fs.StartNs, ov); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sim) add(f *netsim.Flow, at units.Time, ov *Overrides) error {
+	if ov.OnFlow != nil {
+		if err := ov.OnFlow(f, s.Net); err != nil {
+			return err
+		}
+	}
+	if err := s.Net.AddFlow(f, at); err != nil {
+		return err
+	}
+	s.Flows = append(s.Flows, f)
+	return nil
+}
+
+func buildDist(g *GeneratorSpec) (*workload.SizeDist, error) {
+	switch g.Dist {
+	case "", "enterprise":
+		return workload.Enterprise(), nil
+	case "datamining":
+		return workload.DataMining(), nil
+	case "uniform":
+		return workload.Uniform(g.UniformBytes), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown generator dist %q", g.Dist)
+	}
+}

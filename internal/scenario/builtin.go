@@ -1,0 +1,148 @@
+package scenario
+
+import "github.com/gfcsim/gfc/internal/units"
+
+// caseStudyFailLinks are the four failures that force the Figure 11/12 CBD
+// C1→A3→C2→A7→C1 on the canonical k=4 fat-tree wiring (see
+// experiments.NewFatTreeDeadlock for the derivation).
+var caseStudyFailLinks = []string{"C1-A5", "A1-C2", "E1-A2", "E5-A6"}
+
+// caseStudyFlows are the paper's four CBD flows F1..F4 plus the cross-flow
+// squeeze trigger, as explicit paths.
+var caseStudyFlows = []FlowSpec{
+	{ID: 1, Path: []string{"H0", "E1", "A1", "C1", "A3", "C2", "A5", "E5", "H8"}},
+	{ID: 2, Path: []string{"H4", "E3", "A3", "C2", "A7", "E7", "H12"}},
+	{ID: 3, Path: []string{"H9", "E5", "A5", "C2", "A7", "C1", "A1", "E1", "H1"}},
+	{ID: 4, Path: []string{"H13", "E7", "A7", "C1", "A3", "E3", "H5"}},
+	{ID: 50, Path: []string{"H6", "E4", "A3", "C2", "A7", "E8", "H14"}},
+}
+
+// clos128 returns the headline Clos-scale scenario: a k=8 fat-tree
+// (128 hosts, 80 switches) under the paper's random inter-rack enterprise
+// workload with §6.2.2 parameters — the scale the bespoke drivers could
+// never express. CI runs all four schemes of it as a smoke test.
+func clos128(fc FC) Spec {
+	return Spec{
+		Name:        "clos128-" + schemeSlug(fc),
+		Description: "k=8 fat-tree (128 hosts), enterprise inter-rack workload, " + string(fc),
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "fat-tree", K: 8},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise"}},
+		Scheme:      SchemeSpec{FC: fc, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 2 * units.Millisecond, DetectDeadlock: true},
+	}
+}
+
+// schemeSlug is the lower-case registry suffix for a scheme.
+func schemeSlug(fc FC) string {
+	switch fc {
+	case PFC:
+		return "pfc"
+	case CBFC:
+		return "cbfc"
+	case GFCBuf:
+		return "gfcbuf"
+	case GFCTime:
+		return "gfctime"
+	case GFCConceptual:
+		return "gfcconceptual"
+	default:
+		return string(fc)
+	}
+}
+
+func init() {
+	// The paper's figures as data. Durations are the CLI defaults; callers
+	// (and -duration) can override before Build.
+	Register(Spec{
+		Name:        "ring-steady-gfcbuf",
+		Description: "fig9 steady state: critically loaded 3-switch ring, testbed params, buffer-based GFC",
+		Topology:    TopologySpec{Builder: "ring", N: 3},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: GFCBuf, Preset: "testbed"},
+		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "ring-formation-pfc",
+		Description: "fig9 deadlock formation: 2 hosts/switch ring squeezes transit until PFC wedges",
+		Topology:    TopologySpec{Builder: "ring", N: 3, HostsPerSwitch: 2},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "testbed"},
+		Run:         RunSpec{DurationNs: 200 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "ring-faulted-resume-loss-pfc",
+		Description: "canonical faulted ring: resume-loss preset wedges PFC shut (seed 1)",
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "ring", N: 3},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "testbed"},
+		Faults:      &FaultsSpec{Preset: "resume-loss"},
+		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "casestudy-pfc",
+		Description: "fig12 case study: k=4 fat-tree with failed links, CBD flows + cross squeeze, PFC deadlocks",
+		Topology:    TopologySpec{Builder: "fat-tree", K: 4, FailLinks: caseStudyFailLinks},
+		Workload:    WorkloadSpec{Flows: caseStudyFlows},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "casestudy-gfcbuf",
+		Description: "fig12 case study under buffer-based GFC: the CBD fills but keeps trickling",
+		Topology:    TopologySpec{Builder: "fat-tree", K: 4, FailLinks: caseStudyFailLinks},
+		Workload:    WorkloadSpec{Flows: caseStudyFlows},
+		Scheme:      SchemeSpec{FC: GFCBuf, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "evolution-pfc",
+		Description: "fig18 throughput evolution: CBD-prone random k=4 scenario where PFC collapses mid-run",
+		Seed:        8061, // workload seed; topology seed pinned in fail_random
+		Topology:    TopologySpec{Builder: "fat-tree", K: 4, FailRandom: &FailRandomSpec{Prob: 0.05, Seed: 106}},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise"}},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 40 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "overhead-gfcbuf",
+		Description: "fig19 feedback overhead: healthy k=4 fat-tree, enterprise workload, buffer-based GFC",
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "fat-tree", K: 4},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise"}},
+		Scheme:      SchemeSpec{FC: GFCBuf, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 5 * units.Millisecond},
+	})
+	Register(Spec{
+		Name:        "incast-gfcbuf",
+		Description: "fig20 incast fabric: 8 senders into one receiver over a dumbbell, ECN 40KB, buffer-based GFC",
+		Topology:    TopologySpec{Builder: "dumbbell", N: 8},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload: WorkloadSpec{Flows: []FlowSpec{
+			{ID: 1, Src: "H1", Dst: "H9"}, {ID: 2, Src: "H2", Dst: "H9"},
+			{ID: 3, Src: "H3", Dst: "H9"}, {ID: 4, Src: "H4", Dst: "H9"},
+			{ID: 5, Src: "H5", Dst: "H9"}, {ID: 6, Src: "H6", Dst: "H9"},
+			{ID: 7, Src: "H7", Dst: "H9"}, {ID: 8, Src: "H8", Dst: "H9"},
+		}},
+		Scheme: SchemeSpec{FC: GFCBuf, Preset: "sim"},
+		Sim:    SimSpec{ECNBytes: 40 * units.KB},
+		Run:    RunSpec{DurationNs: 20 * units.Millisecond},
+	})
+	Register(Spec{
+		Name:        "sweep-cell-pfc",
+		Description: "one table1 sweep cell: CBD-prone random k=4 failure scenario (seed 35) under PFC",
+		Seed:        35,
+		Topology:    TopologySpec{Builder: "fat-tree", K: 4, FailRandom: &FailRandomSpec{Prob: 0.05, Seed: 35}},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise", FlowsPerHost: 4}},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "sim"},
+		Run:         RunSpec{DurationNs: 25 * units.Millisecond, DetectDeadlock: true, StopOnDeadlock: true},
+	})
+	for _, fc := range AllFCs() {
+		Register(clos128(fc))
+	}
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry is the name → Spec catalogue of built-in scenarios. Guarded by
+// convention rather than a mutex: registration happens in init and tests
+// only read.
+var registry = map[string]Spec{}
+
+// Register adds a spec to the catalogue; the name must be unique and the
+// spec valid (a bad built-in is a programming error, so both panic).
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("scenario: Register: spec has no name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: Register: duplicate scenario %q", s.Name))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Register(%q): %v", s.Name, err))
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the named built-in spec.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the registered scenarios, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

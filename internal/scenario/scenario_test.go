@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// TestRegisteredRoundTrip pins the serialisation contract: every registered
+// Spec survives Spec → JSON → Spec without loss, so a figure scenario dumped
+// to a file and fed back through -scenario reproduces the run exactly.
+func TestRegisteredRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("Get(%q) missing", name)
+			}
+			data, err := spec.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(data)
+			if err != nil {
+				t.Fatalf("re-parsing %q: %v\n%s", name, err, data)
+			}
+			if !reflect.DeepEqual(*back, spec) {
+				t.Fatalf("round trip not lossless:\nwant %+v\ngot  %+v", spec, *back)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{
+		"name": "bad",
+		"topology": {"builder": "ring"},
+		"workload": {"pattern": "ring-clockwise"},
+		"scheme": {"fc": "PFC"},
+		"run": {"duration_ns": 1000000},
+		"bogus_knob": 7
+	}`))
+	if err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus_knob") {
+		t.Fatalf("error %q does not name the unknown field", err)
+	}
+	_, err = Parse([]byte(`{
+		"name": "bad",
+		"topology": {"builder": "ring", "spokes": 5},
+		"workload": {"pattern": "ring-clockwise"},
+		"scheme": {"fc": "PFC"},
+		"run": {"duration_ns": 1000000}
+	}`))
+	if err == nil {
+		t.Fatal("unknown nested field accepted")
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"no duration", `{"name":"x","topology":{"builder":"ring"},"workload":{"pattern":"ring-clockwise"},"scheme":{"fc":"PFC"},"run":{}}`, "duration_ns"},
+		{"no workload", `{"name":"x","topology":{"builder":"ring"},"workload":{},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "pattern, flows or a generator"},
+		{"bad fc", `{"name":"x","topology":{"builder":"ring"},"workload":{"pattern":"ring-clockwise"},"scheme":{"fc":"XON/XOFF"},"run":{"duration_ns":1}}`, "unknown fc"},
+		{"bad builder", `{"name":"x","topology":{"builder":"torus"},"workload":{"pattern":"ring-clockwise"},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "unknown builder"},
+		{"odd fat-tree", `{"name":"x","topology":{"builder":"fat-tree","k":3},"workload":{"generator":{}},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "even"},
+		{"small ring", `{"name":"x","topology":{"builder":"ring","n":2},"workload":{"pattern":"ring-clockwise"},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "n >= 3"},
+		{"two sources", `{"name":"x","topology":{"builder":"ring"},"workload":{"pattern":"ring-clockwise","generator":{}},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "mutually exclusive"},
+		{"uniform needs size", `{"name":"x","topology":{"builder":"fat-tree","k":4},"workload":{"generator":{"dist":"uniform"}},"scheme":{"fc":"PFC"},"run":{"duration_ns":1}}`, "uniform_bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("accepted; want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRegisteredScenariosBuild compiles every catalogue entry into a network.
+// Building is cheap (no simulation), so even the Clos-scale specs stay inside
+// -short budgets.
+func TestRegisteredScenariosBuild(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			spec, _ := Get(name)
+			sim, err := Build(spec, nil)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", name, err)
+			}
+			if sim.Net == nil {
+				t.Fatal("Build returned nil network")
+			}
+			if (spec.Run.DetectDeadlock || spec.Run.StopOnDeadlock) && sim.Detector == nil {
+				t.Fatal("spec asked for deadlock detection but no detector installed")
+			}
+			if spec.Workload.Generator != nil && sim.Gen == nil {
+				t.Fatal("spec has a generator but none was started")
+			}
+			if n := len(spec.Workload.Flows); n > 0 && len(sim.Flows) != n {
+				t.Fatalf("declared %d flows, built %d", n, len(sim.Flows))
+			}
+		})
+	}
+}
+
+// TestFCParamsMerge pins the preset-overlay semantics -scenario files rely
+// on: non-zero fields win, zero fields inherit.
+func TestFCParamsMerge(t *testing.T) {
+	base := FCParams{XOFF: 800 * units.KB, XON: 797 * units.KB, B1: 750 * units.KB}
+	got := base.merge(FCParams{XON: 100 * units.KB, Refresh: 90 * units.Microsecond})
+	if got.XOFF != 800*units.KB || got.XON != 100*units.KB ||
+		got.B1 != 750*units.KB || got.Refresh != 90*units.Microsecond {
+		t.Fatalf("merge = %+v", got)
+	}
+}

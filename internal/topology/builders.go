@@ -31,10 +31,10 @@ func Ring(n int, p LinkParams) *Topology { return RingHosts(n, 1, p) }
 // the timing-noise-driven buffer fill in the paper's software testbed.
 func RingHosts(n, h int, p LinkParams) *Topology {
 	if n < 3 {
-		panic("topology: ring needs at least 3 switches")
+		panic(fmt.Sprintf("topology: ring needs at least 3 switches, got n = %d", n))
 	}
 	if h < 1 {
-		panic("topology: ring needs at least 1 host per switch")
+		panic(fmt.Sprintf("topology: ring needs at least 1 host per switch, got h = %d", h))
 	}
 	name := fmt.Sprintf("ring-%d", n)
 	if h > 1 {
@@ -71,7 +71,7 @@ func RingHosts(n, h int, p LinkParams) *Topology {
 // core group j, i.e. cores j·k/2 .. j·k/2+k/2−1.
 func FatTree(k int, p LinkParams) *Topology {
 	if k < 2 || k%2 != 0 {
-		panic("topology: fat-tree arity must be even and >= 2")
+		panic(fmt.Sprintf("topology: fat-tree arity must be even and >= 2, got k = %d", k))
 	}
 	t := New(fmt.Sprintf("fattree-%d", k))
 	half := k / 2
@@ -127,7 +127,7 @@ func FatTreeHostCount(k int) int { return k * k * k / 4 }
 // receiver Hr attached to S2. All n senders share the S1→S2 bottleneck.
 func Dumbbell(n int, p LinkParams) *Topology {
 	if n < 1 {
-		panic("topology: dumbbell needs at least one sender")
+		panic(fmt.Sprintf("topology: dumbbell needs at least one sender, got n = %d", n))
 	}
 	t := New(fmt.Sprintf("dumbbell-%d", n))
 	s1 := t.AddSwitch("S1")
@@ -146,7 +146,7 @@ func Dumbbell(n int, p LinkParams) *Topology {
 // Useful for hop-by-hop backpressure tests with no CBD.
 func Linear(n int, p LinkParams) *Topology {
 	if n < 1 {
-		panic("topology: linear chain needs at least one switch")
+		panic(fmt.Sprintf("topology: linear chain needs at least one switch, got n = %d", n))
 	}
 	t := New(fmt.Sprintf("linear-%d", n))
 	prev := None

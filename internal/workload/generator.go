@@ -63,12 +63,39 @@ func NewGenerator(net *netsim.Network, tab *routing.Table, dist *SizeDist, racks
 	}
 }
 
+// validate rejects a generator that would panic or silently misbehave once
+// traffic starts: every collaborator must be wired, and the size distribution
+// must be well-formed (Uniform(0) and friends produce NaN knots that would
+// sample garbage sizes forever).
+func (g *Generator) validate() error {
+	switch {
+	case g.Net == nil:
+		return fmt.Errorf("workload: generator: Net is nil")
+	case g.Table == nil:
+		return fmt.Errorf("workload: generator: Table is nil (build a routing table first)")
+	case g.Dist == nil:
+		return fmt.Errorf("workload: generator: Dist is nil (pick a size distribution)")
+	case g.Racks == nil:
+		return fmt.Errorf("workload: generator: Racks is nil (use EdgeRacks)")
+	case g.Rng == nil:
+		return fmt.Errorf("workload: generator: Rng is nil (construct with NewGenerator)")
+	}
+	if err := g.Dist.Validate(); err != nil {
+		return fmt.Errorf("workload: generator: %w", err)
+	}
+	return nil
+}
+
 // Start launches the first flow on every host at time 0. Each completion
 // triggers the next flow from the same host. The simulation's Trace hook
 // OnFlowDone must be free for the generator's use (it installs its own
 // chaining through AddFlow callbacks instead — completion is observed via
-// per-flow goroutine-free scheduling below).
+// per-flow goroutine-free scheduling below). FlowsPerHost values <= 0 mean
+// the paper's default of one flow in flight per host.
 func (g *Generator) Start() error {
+	if err := g.validate(); err != nil {
+		return err
+	}
 	k := g.FlowsPerHost
 	if k < 1 {
 		k = 1

@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -80,6 +81,36 @@ func DataMining() *SizeDist {
 // controlled experiments.
 func Uniform(s units.Size) *SizeDist {
 	return newSizeDist([]point{{s, 0}, {s + 1, 1.0}})
+}
+
+// Validate checks the distribution is sampleable: at least two knots, every
+// size positive (a non-positive size turns into a NaN/-Inf log knot and
+// poisons every sample), sizes strictly ascending and probabilities ascending
+// within [0, 1]. Uniform(0) is the canonical way to trip this.
+func (d *SizeDist) Validate() error {
+	if len(d.sizes) < 2 {
+		return fmt.Errorf("workload: size distribution needs at least 2 CDF knots, got %d", len(d.sizes))
+	}
+	for i, ls := range d.sizes {
+		if math.IsNaN(ls) || math.IsInf(ls, 0) {
+			return fmt.Errorf("workload: size distribution knot %d has non-positive size (log10 = %v)", i, ls)
+		}
+		if i > 0 && ls <= d.sizes[i-1] {
+			return fmt.Errorf("workload: size distribution knot %d not ascending in size", i)
+		}
+	}
+	for i, p := range d.probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("workload: size distribution knot %d has probability %v outside [0,1]", i, p)
+		}
+		if i > 0 && p < d.probs[i-1] {
+			return fmt.Errorf("workload: size distribution knot %d not ascending in probability", i)
+		}
+	}
+	if last := d.probs[len(d.probs)-1]; last != 1 {
+		return fmt.Errorf("workload: size distribution CDF ends at %v, want 1", last)
+	}
+	return nil
 }
 
 // Sample draws one flow size.
