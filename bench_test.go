@@ -5,6 +5,8 @@
 package gfc_test
 
 import (
+	"context"
+
 	"testing"
 
 	"github.com/gfcsim/gfc/internal/baselines"
@@ -173,7 +175,7 @@ func BenchmarkTable1(b *testing.B) {
 		cfg := experiments.DefaultSweep(4)
 		results := map[int]map[experiments.FC]*experiments.SweepResult{4: {}}
 		for _, fc := range experiments.AllFCs() {
-			res, err := experiments.RunSweep(fc, cfg)
+			res, err := experiments.RunSweep(context.Background(), fc, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -212,7 +214,7 @@ func BenchmarkFig16(b *testing.B) {
 					continue // Figure 16(a) uses CBD-free cases
 				}
 				count++
-				res, err := experiments.RunScenario(topo, tab, fc, cfg, 100+s)
+				res, err := experiments.RunScenario(context.Background(), topo, tab, fc, cfg, 100+s)
 				if err != nil {
 					b.Fatal(err)
 				}

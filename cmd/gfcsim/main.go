@@ -19,14 +19,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/gfcsim/gfc/internal/experiments"
 	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
@@ -50,7 +55,63 @@ var (
 	scenarioName = flag.String("scenario", "",
 		"run a declarative scenario: a registered name (see -list) or a path to a\nspec JSON file (format in EXPERIMENTS.md)")
 	listScenarios = flag.Bool("list", false, "list the registered scenarios and exit")
+	checkpoint    = flag.String("checkpoint", "",
+		"sweeps: JSONL checkpoint file; completed cells are flushed as they finish\nand a rerun with the same flags resumes, replaying them instead of recomputing")
+	budgetEvents = flag.Uint64("budget-events", 0,
+		"abort any single run after this many simulator events (0 = unlimited)")
+	budgetWall = flag.Duration("budget-wall", 0,
+		"abort any single run after this much wall-clock time (0 = unlimited)")
+	stallEvents = flag.Uint64("stall-events", 0,
+		"declare livelock if this many events pass with no sim-time, delivery or\ndrop progress (0 = watchdog off)")
+	jobTimeout = flag.Duration("job-timeout", 0,
+		"sweeps: per-cell wall-clock deadline; a cell that blows it is quarantined\nand the sweep continues (0 = none)")
 )
+
+// ctx is cancelled on SIGINT/SIGTERM so runs stop at the next governor check,
+// checkpoints flush, and the process exits with code 4.
+var ctx context.Context
+
+// errGovernor marks a run (or sweep cell) stopped by the run governor:
+// budget blown, livelock, or quarantined cells. It maps to exit code 3.
+var errGovernor = errors.New("run governor tripped")
+
+// flagBudget assembles the per-run Budget from the -budget-* / -stall-events
+// flags; it overlays (and so overrides) any limits block in a scenario spec.
+func flagBudget() netsim.Budget {
+	return netsim.Budget{
+		MaxEvents:   *budgetEvents,
+		MaxWall:     *budgetWall,
+		StallEvents: *stallEvents,
+	}
+}
+
+// exitCode maps an error to the process exit status: 0 ok, 4 interrupted,
+// 3 governor-tripped, 1 anything else (2, usage, is handled inline).
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled):
+		return 4
+	case errors.Is(err, errGovernor):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// finish flushes the metrics sink (even after a failed run, so an interrupted
+// sweep still writes its partial report) and exits accordingly.
+func finish(err error) {
+	if ferr := sink.flush(); err == nil {
+		err = ferr
+	}
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(exitCode(err))
+}
 
 // sink gathers the per-run metrics registries when -metrics-out is set; nil
 // (and inert) otherwise.
@@ -74,16 +135,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "give -exp or -scenario, not both")
 		os.Exit(2)
 	}
+	var stop context.CancelFunc
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	sink = newMetricsSink(*metricsOut)
 	if *scenarioName != "" {
-		if err := runScenario(); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		if err := sink.flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+		finish(runScenario())
 		return
 	}
 	var err error
@@ -116,13 +173,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expName)
 		os.Exit(2)
 	}
-	if err == nil {
-		err = sink.flush()
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
+	finish(err)
 }
 
 // runScenario resolves -scenario (registry name or spec file), applies the
@@ -150,7 +201,7 @@ func runScenario() error {
 	if err != nil {
 		return err
 	}
-	res := sim.Run()
+	res, rerr := sim.RunBounded(ctx, flagBudget())
 	sink.record(spec.Name, reg, res.End)
 
 	fmt.Printf("scenario %s (%s)\n", spec.Name, spec.Scheme.FC)
@@ -170,6 +221,15 @@ func runScenario() error {
 	}
 	if s := res.FaultStats; s != (faults.Stats{}) {
 		fmt.Printf("  faults: feedback dropped=%d delayed=%d\n", s.FeedbackDropped, s.FeedbackDelayed)
+	}
+	if rerr != nil {
+		if re := res.Stopped; re != nil && re.Snapshot != nil {
+			fmt.Fprint(os.Stderr, re.Snapshot.String())
+		}
+		if errors.Is(rerr, context.Canceled) {
+			return rerr
+		}
+		return fmt.Errorf("%w: %v", errGovernor, rerr)
 	}
 	return nil
 }
@@ -405,6 +465,7 @@ func runSweep(which string) error {
 		}
 	}
 	results := make(map[int]map[experiments.FC]*experiments.SweepResult)
+	quarantined := 0
 	for _, k := range ks {
 		results[k] = make(map[experiments.FC]*experiments.SweepResult)
 		cfg := experiments.DefaultSweep(k)
@@ -413,11 +474,23 @@ func runSweep(which string) error {
 		cfg.Seed = *seed
 		cfg.Duration = dur(cfg.Duration)
 		cfg.Workers = *workers
+		cfg.Budget = flagBudget()
+		cfg.JobTimeout = *jobTimeout
+		cfg.Checkpoint = *checkpoint
 		for _, fc := range experiments.AllFCs() {
 			fmt.Fprintf(os.Stderr, "sweep k=%d %s...\n", k, fc)
-			res, err := experiments.RunSweep(fc, cfg)
+			res, err := experiments.RunSweep(ctx, fc, cfg)
 			if err != nil {
+				// Interrupted: the checkpoint has every finished cell, so
+				// skip the (partial) tables and report the resume path.
+				if *checkpoint != "" && errors.Is(err, context.Canceled) {
+					fmt.Fprintf(os.Stderr, "interrupted; rerun with -checkpoint %s to resume\n", *checkpoint)
+				}
 				return err
+			}
+			if len(res.Failures) > 0 {
+				fmt.Fprintln(os.Stderr, res.FailureSummary())
+				quarantined += len(res.Failures)
 			}
 			results[k][fc] = res
 		}
@@ -432,6 +505,9 @@ func runSweep(which string) error {
 	case "fig17":
 		fmt.Println("Figure 17: average slowdown (normalised to the per-scale minimum)")
 		fmt.Print(experiments.Fig17Rows(results, ks).String())
+	}
+	if quarantined > 0 {
+		return fmt.Errorf("%w: %d sweep cells quarantined", errGovernor, quarantined)
 	}
 	return nil
 }

@@ -11,12 +11,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	gfc "github.com/gfcsim/gfc"
 	"github.com/gfcsim/gfc/internal/runner"
@@ -66,7 +69,15 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-scheme merged metrics summaries (JSON)")
 	faultsFlag := flag.String("faults", "", "fault scenario: a preset name or a JSON spec file path,\ninjected into every simulated run (deterministic per -seed)")
 	scenarioFlag := flag.String("scenario", "", "run one declarative scenario instead of the sweep:\na registered name or a JSON spec file path")
+	ckptPath := flag.String("checkpoint", "", "JSONL checkpoint file: cells flush as they finish and a\nrerun with the same flags resumes instead of recomputing")
+	budgetEvents := flag.Uint64("budget-events", 0, "quarantine any cell whose run exceeds this many events (0 = unlimited)")
+	budgetWall := flag.Duration("budget-wall", 0, "quarantine any cell whose run exceeds this wall-clock time (0 = unlimited)")
 	flag.Parse()
+
+	// ^C / SIGTERM cancels the sweep at the next governor check; finished
+	// cells are already in the checkpoint, and we exit with code 4.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *scenarioFlag != "" {
 		runScenario(*scenarioFlag)
@@ -101,16 +112,18 @@ func main() {
 	// so, which schemes deadlocked on any repeat. Per-scheme metrics
 	// summaries ride along so the fold below can merge them in scenario
 	// order, keeping the aggregate deterministic across worker counts.
+	// Fields are exported so a checkpointed cell JSON-round-trips exactly.
 	type outcome struct {
-		prone   bool
-		dead    []bool
-		metrics []gfc.MetricsSummary
+		Prone   bool                 `json:"prone,omitempty"`
+		Dead    []bool               `json:"dead,omitempty"`
+		Metrics []gfc.MetricsSummary `json:"metrics,omitempty"`
 	}
+	budget := gfc.Budget{MaxEvents: *budgetEvents, MaxWall: *budgetWall}
 	wantMetrics := *metricsOut != ""
 	jobs := make([]runner.Job[outcome], *networks)
 	for i := 0; i < *networks; i++ {
 		i := i
-		jobs[i] = func(context.Context) (outcome, error) {
+		jobs[i] = func(jctx context.Context) (outcome, error) {
 			topo := gfc.FatTree(*k, gfc.DefaultLinkParams())
 			rng := rand.New(rand.NewSource(*seed + int64(i)))
 			topo.FailRandomLinks(rng, 0.05)
@@ -128,12 +141,12 @@ func main() {
 				}
 			}
 			out := outcome{
-				prone:   true,
-				dead:    make([]bool, len(schemes)),
-				metrics: make([]gfc.MetricsSummary, len(schemes)),
+				Prone:   true,
+				Dead:    make([]bool, len(schemes)),
+				Metrics: make([]gfc.MetricsSummary, len(schemes)),
 			}
 			for si, s := range schemes {
-				for r := 0; r < *repeats && !out.dead[si]; r++ {
+				for r := 0; r < *repeats && !out.Dead[si]; r++ {
 					var reg *gfc.MetricsRegistry
 					if wantMetrics {
 						reg = gfc.NewMetricsRegistry(gfc.MetricsOptions{})
@@ -158,40 +171,73 @@ func main() {
 					}
 					det := gfc.NewDeadlockDetector(sim)
 					det.Install()
-					sim.Run(20 * gfc.Millisecond)
+					if err := sim.RunBounded(jctx, 20*gfc.Millisecond, budget); err != nil {
+						return outcome{}, fmt.Errorf("scheme %s repeat %d: %w", s.name, r, err)
+					}
 					if det.Deadlocked() != nil {
-						out.dead[si] = true
+						out.Dead[si] = true
 					}
 					if reg != nil {
-						out.metrics[si].Merge(reg.Summary())
+						out.Metrics[si].Merge(reg.Summary())
 					}
 				}
 			}
 			return out, nil
 		}
 	}
-	results := runner.Run(context.Background(), jobs, *workers)
-	if err := runner.FirstErr(results); err != nil {
-		panic(err)
+	opts := runner.Options{
+		Workers: *workers,
+		Seed:    func(job int) int64 { return *seed + int64(job) },
+	}
+	if *ckptPath != "" {
+		key := fmt.Sprintf("examples/sweep/k=%d/n=%d/r=%d/seed=%d/faults=%s",
+			*k, *networks, *repeats, *seed, *faultsFlag)
+		store, err := gfc.OpenCheckpoint(*ckptPath, key)
+		if err != nil {
+			panic(err)
+		}
+		opts.Checkpoint = store
+	}
+	results := runner.RunWith(ctx, jobs, opts)
+	if opts.Checkpoint != nil {
+		if err := opts.Checkpoint.Close(); err != nil {
+			panic(err)
+		}
 	}
 
+	// Quarantine-and-continue: a cell that blew its budget (or was replayed
+	// as failed from the checkpoint) is reported and skipped; cancelled
+	// cells mean the sweep was interrupted.
 	deadlocks := make([]int, len(schemes))
 	merged := make([]gfc.MetricsSummary, len(schemes))
-	prone := 0
+	prone, quarantined, interrupted := 0, 0, false
 	for i, res := range results {
-		if !res.Value.prone {
+		if err := res.Err; err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				continue
+			}
+			quarantined++
+			fmt.Fprintf(os.Stderr, "quarantined %v\n", err)
+			continue
+		}
+		if !res.Value.Prone {
 			continue
 		}
 		prone++
-		for si, d := range res.Value.dead {
+		for si, d := range res.Value.Dead {
 			if d {
 				deadlocks[si]++
 			}
 			if wantMetrics {
-				merged[si].Merge(res.Value.metrics[si])
+				merged[si].Merge(res.Value.Metrics[si])
 			}
 		}
 		fmt.Printf("scenario %d/%d is CBD-prone (%d so far)\n", i+1, *networks, prone)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted; finished cells are checkpointed, rerun to resume")
+		os.Exit(4)
 	}
 	fmt.Printf("\nk=%d: %d scenarios scanned, %d CBD-prone\n", *k, *networks, prone)
 	if faultSpec != nil {
@@ -224,5 +270,9 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("metrics: wrote per-scheme summaries to %s\n", *metricsOut)
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "%d cells quarantined by the run governor\n", quarantined)
+		os.Exit(3)
 	}
 }

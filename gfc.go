@@ -45,6 +45,7 @@ import (
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/runner"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
@@ -231,6 +232,37 @@ const (
 // NewSimulation builds a simulation of topo under the given options.
 func NewSimulation(topo *Topology, opt Options) (*Simulation, error) {
 	return netsim.New(topo, opt)
+}
+
+// Run governor: Simulation.RunBounded runs under a Budget (event/wall
+// limits, livelock watchdog, ctx cancellation) and reports a tripped run as
+// a *RunError carrying a flight-recorder Snapshot.
+type (
+	// Budget bounds one RunBounded call; the zero value only honours ctx.
+	Budget = netsim.Budget
+	// RunError is the structured verdict of a tripped governor.
+	RunError = netsim.RunError
+	// RunSnapshot is the flight-recorder state attached to a RunError.
+	RunSnapshot = netsim.Snapshot
+	// StopReason says why the governor ended a run.
+	StopReason = netsim.StopReason
+	// CheckpointStore is the sweep checkpoint/resume store (JSONL of
+	// completed cells, torn-line tolerant).
+	CheckpointStore = runner.Store
+)
+
+// Governor stop reasons.
+const (
+	StopCancelled   = netsim.StopCancelled
+	StopEventBudget = netsim.StopEventBudget
+	StopWallBudget  = netsim.StopWallBudget
+	StopStalled     = netsim.StopStalled
+)
+
+// OpenCheckpoint opens (creating if absent) a sweep checkpoint for
+// resume-and-append; key identifies the sweep configuration.
+func OpenCheckpoint(path, key string) (*CheckpointStore, error) {
+	return runner.OpenStore(path, key)
 }
 
 // Observability: per-channel counters, occupancy series and runtime

@@ -51,6 +51,12 @@ type Engine struct {
 	seq     uint64
 	fired   uint64
 	stopped bool
+
+	// Run-governor hook (SetHook): hookFn is consulted every hookEvery
+	// fired events during Run; nil when no governor is attached, so the
+	// ungoverned hot path pays a single nil check per event.
+	hookFn    func() bool
+	hookEvery uint64
 }
 
 // New returns a fresh engine with its clock at zero.
@@ -137,6 +143,24 @@ func (e *Engine) Cancel(ev Event) {
 // Run consumes it, executing nothing.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetHook installs a run-governor hook: during Run, fn is invoked after
+// every `every` fired events (measured on the engine's lifetime Fired
+// counter) and may return false to end the run after the current event.
+// Unlike Stop, a hook-ended Run leaves no pending stop flag to consume.
+// The hook is how netsim's RunBounded checks budgets, wall clocks and
+// cancellation without the engine knowing about any of them; a nil fn (or
+// ClearHook) detaches it. every < 1 panics.
+func (e *Engine) SetHook(every uint64, fn func() bool) {
+	if fn != nil && every < 1 {
+		panic("eventsim: hook interval must be >= 1")
+	}
+	e.hookFn = fn
+	e.hookEvery = every
+}
+
+// ClearHook detaches any installed run-governor hook.
+func (e *Engine) ClearHook() { e.hookFn = nil }
+
 // Step executes the next pending event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
@@ -168,6 +192,9 @@ func (e *Engine) Run(until units.Time) units.Time {
 			break
 		}
 		e.Step()
+		if e.hookFn != nil && e.fired%e.hookEvery == 0 && !e.hookFn() {
+			break
+		}
 	}
 	return e.now
 }

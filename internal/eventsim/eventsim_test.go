@@ -367,3 +367,62 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 		standing[j] = e.Schedule(units.Time(i+2000000), fn)
 	}
 }
+
+func TestHookInterval(t *testing.T) {
+	e := New()
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		if n < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	calls := 0
+	e.SetHook(10, func() bool { calls++; return true })
+	e.RunAll()
+	if n != 100 {
+		t.Fatalf("ran %d events, want 100", n)
+	}
+	if calls != 10 {
+		t.Fatalf("hook ran %d times for 100 events at interval 10, want 10", calls)
+	}
+}
+
+func TestHookStopsRun(t *testing.T) {
+	e := New()
+	var chain func()
+	n := 0
+	chain = func() {
+		n++
+		e.After(1, chain) // unbounded: only the hook can end this run
+	}
+	e.Schedule(0, chain)
+	e.SetHook(1, func() bool { return n < 25 })
+	e.RunAll()
+	if n != 25 {
+		t.Fatalf("hook stopped after %d events, want 25", n)
+	}
+	if e.Stopped() {
+		t.Fatal("hook-ended run left a pending stop flag")
+	}
+	// The hook decision is per-Run: with the hook cleared, the chain
+	// resumes from where it stopped.
+	e.ClearHook()
+	e.Schedule(e.Now()+1000, func() {}) // horizon pin
+	e.Run(e.Now() + 10)
+	if n <= 25 {
+		t.Fatal("cleared hook still stopping the run")
+	}
+}
+
+func TestHookIntervalValidation(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetHook(0, fn) did not panic")
+		}
+	}()
+	e.SetHook(0, func() bool { return true })
+}

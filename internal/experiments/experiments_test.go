@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -311,7 +313,7 @@ func TestRunScenarioSmoke(t *testing.T) {
 	}
 	cfg := DefaultSweep(4)
 	cfg.Duration = 5 * units.Millisecond
-	res, err := RunScenario(topo, tab, GFCBuf, cfg, 7)
+	res, err := RunScenario(context.Background(), topo, tab, GFCBuf, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

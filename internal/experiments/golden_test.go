@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -159,7 +161,7 @@ func sweepHash(t *testing.T, workers int) uint64 {
 	cfg.Repeats = 1
 	cfg.Duration = 10 * units.Millisecond
 	cfg.Workers = workers
-	res, err := RunSweep(PFC, cfg)
+	res, err := RunSweep(context.Background(), PFC, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/rand"
+	"strings"
+	"time"
 
 	"github.com/gfcsim/gfc/internal/cbd"
 	"github.com/gfcsim/gfc/internal/metrics"
@@ -36,6 +40,18 @@ type SweepConfig struct {
 	// seeded from its index, so the aggregate result is bit-identical
 	// for every worker count.
 	Workers int
+	// Budget bounds every repeat's simulation via the netsim run governor
+	// (event budget, wall clock, stall watchdog). The zero value imposes
+	// no bounds; a budget-blown repeat quarantines its scenario cell
+	// instead of wedging the sweep.
+	Budget netsim.Budget
+	// JobTimeout is a per-scenario wall-clock deadline; 0 means none. A
+	// deadline-blown cell is quarantined and the sweep continues.
+	JobTimeout time.Duration
+	// Checkpoint, when non-empty, is the path of a JSONL checkpoint file:
+	// cells are recorded as they complete and a resumed sweep (same
+	// SweepKey) replays them instead of recomputing.
+	Checkpoint string
 }
 
 // DefaultSweep returns a CI-sized sweep for arity k: the paper's failure
@@ -84,6 +100,40 @@ type SweepResult struct {
 	Bandwidth stats.CDF
 	Slowdown  stats.CDF
 	Drops     int64
+	// Failures lists the quarantined cells (budget-blown, deadline-blown
+	// or panicked scenarios), in job order. The sweep's aggregates cover
+	// the surviving cells; a non-empty list means the sweep is incomplete
+	// and callers should exit non-zero after reporting it.
+	Failures []CellFailure
+}
+
+// CellFailure is one quarantined sweep cell: the scenario job index, the
+// rendered error, and — when the failure carried a flight-recorder
+// snapshot — its report.
+type CellFailure struct {
+	Job    int    `json:"job"`
+	Err    string `json:"err"`
+	Report string `json:"report,omitempty"`
+}
+
+// FailureSummary renders the quarantined cells of a sweep as a
+// deterministic, job-ordered report.
+func (s *SweepResult) FailureSummary() string {
+	if len(s.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sweep cells quarantined (fc=%v k=%d):\n",
+		len(s.Failures), s.FC, s.K)
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "  cell %d: %s\n", f.Job, f.Err)
+		if f.Report != "" {
+			for _, line := range strings.Split(strings.TrimRight(f.Report, "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
+	}
+	return b.String()
 }
 
 // GenerateScenario builds the i-th random failure scenario of a sweep:
@@ -101,8 +151,10 @@ func GenerateScenario(k int, p float64, seed int64) (*topology.Topology, *routin
 
 // RunScenario executes one workload repetition on a prepared scenario. The
 // topology and routing table are supplied prebuilt (sweeps reuse them across
-// repeats), so the Spec's topology section is documentation only.
-func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
+// repeats), so the Spec's topology section is documentation only. The run is
+// governed: ctx cancellation and cfg.Budget are enforced via
+// netsim.RunBounded, and a tripped governor surfaces as a *netsim.RunError.
+func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
 	spec := scenario.Spec{
 		Name:     "table1-repeat",
 		Topology: scenario.TopologySpec{Builder: "fat-tree", K: cfg.K},
@@ -125,7 +177,9 @@ func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepCo
 	}
 	net := sim.Net
 	gen := sim.Gen
-	net.Run(cfg.Duration)
+	if err := net.RunBounded(ctx, cfg.Duration, cfg.Budget); err != nil {
+		return nil, err
+	}
 
 	res := &ScenarioResult{Drops: net.Drops()}
 	if rep := sim.Detector.Deadlocked(); rep != nil {
@@ -155,10 +209,27 @@ func RunScenario(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepCo
 
 // scenarioOutcome is one scenario's worth of sweep data: the per-repeat
 // results in repeat order, so the aggregation fold reproduces the serial
-// loop exactly. A nil outcome marks a scenario that was not CBD-prone.
+// loop exactly. A nil outcome marks a scenario that was not CBD-prone. The
+// fields are exported (and JSON-tagged) because outcomes round-trip through
+// the checkpoint store; the JSON float encoding is exact, so a replayed
+// outcome aggregates bit-identically to a computed one.
 type scenarioOutcome struct {
-	repeats []*ScenarioResult
+	Repeats []*ScenarioResult `json:"repeats"`
 }
+
+// SweepKey identifies the result-determining configuration of a sweep — the
+// spec hash written into every checkpoint entry. Two sweeps share a key iff
+// their job lists compute the same results, which is what makes a recorded
+// cell safe to replay. Runtime knobs (workers, budgets, checkpoint path)
+// deliberately stay out: they change how cells run, not what they compute.
+func SweepKey(fc FC, cfg SweepConfig) string {
+	return fmt.Sprintf("table1/fc=%v/k=%d/n=%d/r=%d/p=%g/d=%d/seed=%d/sched=%s/fph=%d",
+		fc, cfg.K, cfg.Networks, cfg.Repeats, cfg.FailureProb,
+		int64(cfg.Duration), cfg.Seed, cfg.Scheduling.String(), cfg.FlowsPerHost)
+}
+
+// seedOf is the base RNG seed of scenario i, recorded in checkpoint entries.
+func (cfg SweepConfig) seedOf(i int) int64 { return cfg.Seed + int64(i) }
 
 // RunSweep executes the Table 1 experiment for one scheme at one scale.
 // Scenario generation is shared across schemes via the seed, so — like the
@@ -168,39 +239,70 @@ type scenarioOutcome struct {
 // independent Network seeded purely from the scenario index, and outcomes
 // are folded in scenario order, so the result is bit-identical for every
 // worker count (including the serial Workers == 1 case).
-func RunSweep(fc FC, cfg SweepConfig) (*SweepResult, error) {
+//
+// Resilience semantics: a failed cell (budget-blown, deadline-blown,
+// panicked) is quarantined into SweepResult.Failures and the sweep
+// continues; with cfg.Checkpoint set, completed cells are recorded as they
+// finish and a resumed sweep replays them. Cancelling ctx stops the sweep
+// early and returns the partial aggregate alongside the context error —
+// cancelled cells are neither aggregated, quarantined nor checkpointed, so
+// a resume re-runs exactly those.
+func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error) {
 	jobs := make([]runner.Job[*scenarioOutcome], cfg.Networks)
 	for i := 0; i < cfg.Networks; i++ {
 		i := i
-		jobs[i] = func(context.Context) (*scenarioOutcome, error) {
-			topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.Seed+int64(i))
+		jobs[i] = func(ctx context.Context) (*scenarioOutcome, error) {
+			topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.seedOf(i))
 			if !prone {
 				return nil, nil
 			}
-			sc := &scenarioOutcome{repeats: make([]*ScenarioResult, cfg.Repeats)}
+			sc := &scenarioOutcome{Repeats: make([]*ScenarioResult, cfg.Repeats)}
 			for r := 0; r < cfg.Repeats; r++ {
-				res, err := RunScenario(topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
+				res, err := RunScenario(ctx, topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("repeat %d: %w", r, err)
 				}
-				sc.repeats[r] = res
+				sc.Repeats[r] = res
 			}
 			return sc, nil
 		}
 	}
-	results := runner.Run(context.Background(), jobs, cfg.Workers)
-	if err := runner.FirstErr(results); err != nil {
-		return nil, err
+	opts := runner.Options{
+		Workers:    cfg.Workers,
+		JobTimeout: cfg.JobTimeout,
+		Seed:       cfg.seedOf,
 	}
+	if cfg.Checkpoint != "" {
+		st, err := runner.OpenStore(cfg.Checkpoint, SweepKey(fc, cfg))
+		if err != nil {
+			return nil, fmt.Errorf("opening checkpoint: %w", err)
+		}
+		defer st.Close()
+		opts.Checkpoint = st
+	}
+	results := runner.RunWith(ctx, jobs, opts)
+
 	out := &SweepResult{FC: fc, K: cfg.K}
-	for _, jr := range results {
+	for job, jr := range results {
+		if err := jr.Err; err != nil {
+			if errors.Is(err, context.Canceled) {
+				continue // cut short, not a verdict: a resume re-runs it
+			}
+			f := CellFailure{Job: job, Err: err.Error()}
+			var re *netsim.RunError
+			if errors.As(err, &re) && re.Snapshot != nil {
+				f.Report = re.Snapshot.String()
+			}
+			out.Failures = append(out.Failures, f)
+			continue
+		}
 		sc := jr.Value
 		if sc == nil {
 			continue // not CBD-prone: never simulated
 		}
 		out.CBDProne++
 		dead := false
-		for _, res := range sc.repeats {
+		for _, res := range sc.Repeats {
 			out.Drops += res.Drops
 			if res.Deadlocked {
 				dead = true
@@ -214,6 +316,9 @@ func RunSweep(fc FC, cfg SweepConfig) (*SweepResult, error) {
 		if dead {
 			out.DeadlockCases++
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
 }

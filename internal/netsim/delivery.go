@@ -86,8 +86,8 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 	if n.cfg.Escalation != nil {
 		np := n.cfg.Escalation(pkt, nd.id)
 		if np < pkt.Priority || np >= n.cfg.Priorities {
-			panic(fmt.Sprintf("netsim: escalation moved priority %d -> %d (classes: %d)",
-				pkt.Priority, np, n.cfg.Priorities))
+			panic(fmt.Sprintf("netsim: escalation moved priority %d -> %d (classes: %d) at t=%v event=%d",
+				pkt.Priority, np, n.cfg.Priorities, now, n.eng.Fired()))
 		}
 		pkt.Priority = np
 	}
@@ -119,8 +119,8 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 	pkt.hop++
 	hop := pkt.Path[pkt.hop]
 	if hop.Node != nd.id {
-		panic(fmt.Sprintf("netsim: packet path desync: at node %d, path says %d",
-			nd.id, hop.Node))
+		panic(fmt.Sprintf("netsim: packet path desync: at node %d, path says %d (t=%v event=%d)",
+			nd.id, hop.Node, now, n.eng.Fired()))
 	}
 	out := nd.ports[hop.Port]
 	switch n.cfg.Scheduling {

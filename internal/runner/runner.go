@@ -14,14 +14,22 @@
 //     happens in job order no matter which worker finished first;
 //   - a panicking job is captured as that job's error instead of tearing
 //     down the process (one pathological scenario must not kill a sweep).
+//
+// RunWith layers sweep resilience on the same pool: per-job deadlines,
+// and a checkpoint Store that records each completed cell as it finishes
+// so an interrupted sweep resumes by replaying recorded results instead of
+// recomputing them.
 package runner
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job computes one experiment. Implementations must be self-contained:
@@ -33,7 +41,9 @@ type Job[T any] func(ctx context.Context) (T, error)
 type Result[T any] struct {
 	Value T
 	// Err is the job's returned error, a *PanicError if it panicked, or
-	// the context error for jobs skipped after cancellation.
+	// the context error for jobs skipped after cancellation — in every
+	// case wrapped as "job %d: ..." so a failed sweep names the offending
+	// cell. errors.Is/As see through the wrapping.
 	Err error
 }
 
@@ -48,6 +58,32 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("job panicked: %v\n%s", p.Value, p.Stack)
 }
 
+// ReplayedError is a job failure read back from a checkpoint Store. The
+// original error type is gone — only its rendered message was durable — so
+// resumed sweeps report the same text without the same dynamic type.
+type ReplayedError struct{ Msg string }
+
+func (e *ReplayedError) Error() string { return e.Msg }
+
+// Options configures RunWith.
+type Options struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// JobTimeout, when non-zero, derives a per-job deadline context for
+	// each job. A job that honours its context (e.g. via
+	// netsim.RunBounded) then fails with context.DeadlineExceeded and is
+	// quarantined like any other failed cell; the sweep continues.
+	JobTimeout time.Duration
+	// Checkpoint, when non-nil, is consulted before each job (a recorded
+	// cell is replayed, not recomputed) and appended to as cells complete.
+	// Jobs skipped by cancellation are NOT recorded, so a resumed sweep
+	// re-runs them.
+	Checkpoint *Store
+	// Seed, when non-nil, supplies the seed recorded in checkpoint
+	// entries for job i (diagnostic provenance; replay does not use it).
+	Seed func(job int) int64
+}
+
 // Run executes jobs on a pool of workers and returns their results in job
 // order. workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 runs the
 // jobs inline in order. Because jobs are share-nothing and results are
@@ -55,6 +91,15 @@ func (p *PanicError) Error() string {
 // count. When ctx is cancelled, jobs not yet started report ctx's error;
 // already-running jobs finish normally.
 func Run[T any](ctx context.Context, jobs []Job[T], workers int) []Result[T] {
+	return RunWith(ctx, jobs, Options{Workers: workers})
+}
+
+// RunWith is Run with sweep-resilience options: per-job deadlines and
+// checkpoint/resume. The determinism contract is unchanged — for a given
+// (jobs, checkpoint state) the result slice is identical for every worker
+// count.
+func RunWith[T any](ctx context.Context, jobs []Job[T], opts Options) []Result[T] {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -63,12 +108,8 @@ func Run[T any](ctx context.Context, jobs []Job[T], workers int) []Result[T] {
 	}
 	results := make([]Result[T], len(jobs))
 	if workers <= 1 {
-		for i, job := range jobs {
-			if err := ctx.Err(); err != nil {
-				results[i] = Result[T]{Err: err}
-				continue
-			}
-			results[i] = runOne(ctx, job)
+		for i := range jobs {
+			results[i] = runIndexed(ctx, i, jobs[i], &opts)
 		}
 		return results
 	}
@@ -83,16 +124,70 @@ func Run[T any](ctx context.Context, jobs []Job[T], workers int) []Result[T] {
 				if i >= len(jobs) {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					results[i] = Result[T]{Err: err}
-					continue
-				}
-				results[i] = runOne(ctx, jobs[i])
+				results[i] = runIndexed(ctx, i, jobs[i], &opts)
 			}
 		}()
 	}
 	wg.Wait()
 	return results
+}
+
+// runIndexed runs job i through the resilience pipeline: checkpoint replay,
+// cancellation skip, per-job deadline, panic capture, job-index error
+// wrapping, and checkpoint recording.
+func runIndexed[T any](ctx context.Context, i int, job Job[T], opts *Options) Result[T] {
+	if cp := opts.Checkpoint; cp != nil {
+		if e, ok := cp.Lookup(i); ok {
+			return replay[T](e)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result[T]{Err: fmt.Errorf("job %d: %w", i, err)}
+	}
+	jctx := ctx
+	if opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
+		defer cancel()
+	}
+	res := runOne(jctx, job)
+	if res.Err != nil {
+		res.Err = fmt.Errorf("job %d: %w", i, res.Err)
+	}
+	if cp := opts.Checkpoint; cp != nil && !skipRecord(res.Err) {
+		var seed int64
+		if opts.Seed != nil {
+			seed = opts.Seed(i)
+		}
+		// A failed write must not corrupt the in-memory result; the
+		// checkpoint is best-effort durability, not the source of truth.
+		_ = cp.Record(i, seed, res.Value, res.Err)
+	}
+	return res
+}
+
+// skipRecord reports whether a job outcome must stay out of the checkpoint:
+// a cancellation skip is not a verdict on the cell, so a resumed sweep has
+// to re-run it. Per-job deadline blows are real verdicts
+// (context.DeadlineExceeded, not Canceled) and are recorded.
+func skipRecord(err error) bool {
+	return err != nil && errors.Is(err, context.Canceled)
+}
+
+// replay converts a checkpoint entry back into a Result. The recorded error
+// string (already carrying its "job %d:" prefix) comes back as a
+// *ReplayedError; values round-trip through JSON bit-identically (Go emits
+// the shortest float form that re-parses exactly).
+func replay[T any](e Entry) Result[T] {
+	var res Result[T]
+	if e.Err != "" {
+		res.Err = &ReplayedError{Msg: e.Err}
+		return res
+	}
+	if err := json.Unmarshal(e.Value, &res.Value); err != nil {
+		res.Err = fmt.Errorf("job %d: corrupt checkpoint value: %w", e.Job, err)
+	}
+	return res
 }
 
 // runOne executes a single job with panic capture.
@@ -120,4 +215,16 @@ func FirstErr[T any](results []Result[T]) error {
 		}
 	}
 	return nil
+}
+
+// Failed returns the indices of failed jobs, in job order — the input to a
+// deterministic quarantine summary.
+func Failed[T any](results []Result[T]) []int {
+	var idx []int
+	for i := range results {
+		if results[i].Err != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }

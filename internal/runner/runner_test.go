@@ -94,14 +94,21 @@ func TestJobErrors(t *testing.T) {
 		func(context.Context) (int, error) { return 0, boom },
 	}
 	res := Run(context.Background(), jobs, 1)
-	if res[1].Err != boom {
+	if !errors.Is(res[1].Err, boom) {
 		t.Fatalf("err = %v, want boom", res[1].Err)
 	}
-	if FirstErr(res) != boom {
+	// Satellite contract: failures name their cell deterministically.
+	if !strings.HasPrefix(res[1].Err.Error(), "job 1: ") {
+		t.Fatalf("err %q does not carry its job index", res[1].Err)
+	}
+	if !errors.Is(FirstErr(res), boom) {
 		t.Fatal("FirstErr missed the failure")
 	}
 	if FirstErr(res[:1]) != nil {
 		t.Fatal("FirstErr invented an error")
+	}
+	if got := Failed(res); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Failed = %v, want [1]", got)
 	}
 }
 
@@ -157,5 +164,81 @@ func TestDefaultWorkers(t *testing.T) {
 		if r.Value != i {
 			t.Fatalf("result %d = %d", i, r.Value)
 		}
+	}
+}
+
+func TestJobTimeoutQuarantines(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(ctx context.Context) (int, error) {
+			// A job that honours its context, like a governed simulation.
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+		func(context.Context) (int, error) { return 3, nil },
+	}
+	res := RunWith(context.Background(), jobs, Options{Workers: 1, JobTimeout: 10 * time.Millisecond})
+	if res[0].Value != 1 || res[2].Value != 3 {
+		t.Fatal("deadline-blown cell disturbed its siblings")
+	}
+	if !errors.Is(res[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", res[1].Err)
+	}
+	if !strings.HasPrefix(res[1].Err.Error(), "job 1: ") {
+		t.Fatalf("err %q does not name its cell", res[1].Err)
+	}
+}
+
+// The cancellation-ordering contract under -race: cancellation during a
+// sweep yields, for every job, either a clean result (started before the
+// cancel won the race) or that job's own index-wrapped context error —
+// never a torn or misattributed result.
+func TestCancellationOrdering(t *testing.T) {
+	const n, workers = 64, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var running atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if running.Add(1) == workers {
+				cancel() // all workers busy: cancel mid-sweep
+			}
+			<-release
+			return i, nil
+		}
+	}
+	go func() {
+		<-ctx.Done()
+		close(release) // let in-flight jobs finish after the cancel
+	}()
+	res := RunWith(ctx, jobs, Options{Workers: workers})
+	var done, skipped int
+	for i, r := range res {
+		switch {
+		case r.Err == nil:
+			if r.Value != i {
+				t.Fatalf("job %d returned %d: result misattributed", i, r.Value)
+			}
+			done++
+		case errors.Is(r.Err, context.Canceled):
+			if want := fmt.Sprintf("job %d: ", i); !strings.HasPrefix(r.Err.Error(), want) {
+				t.Fatalf("skip error %q lacks prefix %q", r.Err, want)
+			}
+			skipped++
+		default:
+			t.Fatalf("job %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if done < workers {
+		t.Fatalf("only %d jobs completed; the %d in-flight ones must finish", done, workers)
+	}
+	if skipped == 0 {
+		t.Fatal("no queued job was skipped by the cancel")
+	}
+	if done+skipped != n {
+		t.Fatalf("done %d + skipped %d != %d", done, skipped, n)
 	}
 }

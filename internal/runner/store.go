@@ -1,0 +1,134 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// This file is the checkpoint store: an append-only JSONL file recording
+// each completed sweep cell as (job index, sweep key, seed, value-or-error).
+// One line per cell, flushed as cells complete, so a killed sweep loses at
+// most the in-flight cells. On reopen the store tolerates a torn final line
+// (the signature of a mid-write kill), ignores entries whose key does not
+// match (a checkpoint from a differently-configured sweep must not poison
+// this one), and lets the last entry for a job win.
+
+// Entry is one checkpoint line.
+type Entry struct {
+	// Job is the cell's index in the sweep's job order.
+	Job int `json:"job"`
+	// Key identifies the sweep configuration (a spec hash); entries with a
+	// different key are ignored on load.
+	Key string `json:"key"`
+	// Seed is the cell's RNG seed, recorded for provenance.
+	Seed int64 `json:"seed"`
+	// Value is the cell's JSON-encoded result; empty when the cell failed.
+	Value json.RawMessage `json:"value,omitempty"`
+	// Err is the cell's rendered error; empty when the cell succeeded.
+	Err string `json:"err,omitempty"`
+}
+
+// Store is a checkpoint file opened for resume-and-append. Record is safe
+// for concurrent use by pool workers.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	key  string
+	done map[int]Entry
+}
+
+// OpenStore opens (creating if absent) the checkpoint at path for the sweep
+// identified by key. Existing entries with a matching key become replayable
+// via Lookup; a torn final line is truncated away so subsequent appends
+// stay parseable, and unparseable interior lines are skipped.
+func OpenStore(path, key string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
+	}
+	// Keep only whole, newline-terminated lines; anything after the last
+	// newline is a torn write from a killed sweep.
+	valid := bytes.LastIndexByte(data, '\n') + 1
+	s := &Store{f: f, key: key, done: make(map[int]Entry)}
+	for _, line := range bytes.Split(data[:valid], []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if json.Unmarshal(line, &e) != nil || e.Key != key || e.Job < 0 {
+			continue
+		}
+		s.done[e.Job] = e
+	}
+	if valid != len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: trimming torn checkpoint line: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Lookup returns the recorded entry for a job, if any.
+func (s *Store) Lookup(job int) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.done[job]
+	return e, ok
+}
+
+// Done reports how many cells the store has recorded.
+func (s *Store) Done() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Record appends one completed cell. Exactly one of value (jobErr == nil)
+// or jobErr is recorded. The line is written in a single Write call so a
+// kill between cells never tears more than the final line.
+func (s *Store) Record(job int, seed int64, value any, jobErr error) error {
+	e := Entry{Job: job, Key: s.key, Seed: seed}
+	if jobErr != nil {
+		e.Err = jobErr.Error()
+	} else {
+		raw, err := json.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("runner: encoding checkpoint value for job %d: %w", job, err)
+		}
+		e.Value = raw
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return err
+	}
+	s.done[job] = e
+	return nil
+}
+
+// Close closes the underlying file. Recorded entries remain readable via
+// Lookup afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

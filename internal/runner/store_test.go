@@ -1,0 +1,265 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cell is a deliberately float-heavy result type: the resume contract
+// depends on JSON float64 round-trips being exact.
+type cell struct {
+	Mean float64 `json:"mean"`
+	P99  float64 `json:"p99"`
+	N    int     `json:"n"`
+}
+
+func cellJobs(t *testing.T, n int, mustRun func(i int) bool) []Job[cell] {
+	t.Helper()
+	jobs := make([]Job[cell], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (cell, error) {
+			if mustRun != nil && !mustRun(i) {
+				t.Errorf("job %d recomputed despite a checkpoint entry", i)
+			}
+			if i == 3 {
+				return cell{}, fmt.Errorf("cell %d diverged", i)
+			}
+			return cell{Mean: math.Sqrt(float64(i)) / 3, P99: float64(i) * 1.1e-9, N: i}, nil
+		}
+	}
+	return jobs
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const n = 12
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Uninterrupted reference run, no checkpoint.
+	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: 1})
+
+	// First pass: record only the first half, simulating an interrupt by
+	// running a truncated job list.
+	st, err := OpenStore(path, "spec-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func(i int) int64 { return int64(i)*1e9 + 7 }
+	RunWith(context.Background(), cellJobs(t, n/2, nil), Options{Workers: 2, Checkpoint: st, Seed: seed})
+	if st.Done() != n/2 {
+		t.Fatalf("recorded %d cells, want %d", st.Done(), n/2)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: recorded cells must be replayed, not recomputed, and the
+	// aggregate must match the uninterrupted run bit for bit.
+	st2, err := OpenStore(path, "spec-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	res := RunWith(context.Background(), cellJobs(t, n, func(i int) bool { return i >= n/2 }),
+		Options{Workers: 3, Checkpoint: st2, Seed: seed})
+	for i := range res {
+		if res[i].Value != ref[i].Value {
+			t.Fatalf("cell %d: resumed %+v != reference %+v", i, res[i].Value, res[i].Value)
+		}
+	}
+	// The quarantined failure replays with its original rendered message.
+	if res[3].Err == nil || res[3].Err.Error() != ref[3].Err.Error() {
+		t.Fatalf("replayed failure %v != reference %v", res[3].Err, ref[3].Err)
+	}
+	var re *ReplayedError
+	if !errors.As(res[3].Err, &re) {
+		t.Fatalf("replayed failure has type %T", res[3].Err)
+	}
+	if st2.Done() != n {
+		t.Fatalf("store holds %d cells after resume, want %d", st2.Done(), n)
+	}
+	// Recorded seeds survive the round trip.
+	if e, ok := st2.Lookup(4); !ok || e.Seed != seed(4) {
+		t.Fatalf("entry 4 seed = %+v", e)
+	}
+}
+
+func TestCheckpointKeyMismatchReruns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "spec-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunWith(context.Background(), cellJobs(t, 4, nil), Options{Workers: 1, Checkpoint: st})
+	st.Close()
+
+	// A different sweep key must not replay: stale entries are ignored.
+	st2, err := OpenStore(path, "spec-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Done() != 0 {
+		t.Fatalf("key-mismatched store replays %d cells", st2.Done())
+	}
+	ran := make([]bool, 4)
+	RunWith(context.Background(), cellJobs(t, 4, func(i int) bool { ran[i] = true; return true }),
+		Options{Workers: 1, Checkpoint: st2})
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("job %d not re-run under the new key", i)
+		}
+	}
+}
+
+func TestCheckpointTornLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Record(i, int64(i), cell{N: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	// Simulate a kill mid-write: a partial, unterminated JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":3,"key":"k","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Done() != 3 {
+		t.Fatalf("recovered %d cells, want 3 (torn line dropped)", st2.Done())
+	}
+	if _, ok := st2.Lookup(3); ok {
+		t.Fatal("torn entry replayed")
+	}
+	// Appending after recovery must yield a parseable file: the torn tail
+	// was truncated away.
+	if err := st2.Record(3, 3, cell{N: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Done() != 4 {
+		t.Fatalf("post-recovery store holds %d cells, want 4", st3.Done())
+	}
+}
+
+func TestCheckpointSkipsCancelledCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job[int], 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			if i == 2 {
+				cancel()
+				return 0, ctx.Err() // cut short by the cancellation
+			}
+			return i, nil
+		}
+	}
+	res := RunWith(ctx, jobs, Options{Workers: 1, Checkpoint: st})
+	// Jobs 0-1 completed and were recorded; job 2 and the queued jobs were
+	// cancellation casualties and must NOT be in the checkpoint, so a
+	// resume re-runs them.
+	if st.Done() != 2 {
+		t.Fatalf("recorded %d cells, want 2 (cancelled cells excluded)", st.Done())
+	}
+	for i := 2; i < 6; i++ {
+		if _, ok := st.Lookup(i); ok {
+			t.Fatalf("cancelled job %d leaked into the checkpoint", i)
+		}
+		if !errors.Is(res[i].Err, context.Canceled) {
+			t.Fatalf("job %d err = %v", i, res[i].Err)
+		}
+	}
+}
+
+func TestCheckpointDeterministicAcrossWorkers(t *testing.T) {
+	// Same checkpoint state + same jobs must give the same result slice at
+	// any worker count, including the replayed-vs-computed partition.
+	const n = 16
+	dir := t.TempDir()
+	mk := func(name string) *Store {
+		st, err := OpenStore(filepath.Join(dir, name), "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i += 3 {
+			if err := st.Record(i, 0, cell{Mean: float64(i) / 7, N: i}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}
+	base := mk("a.ckpt")
+	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: 1, Checkpoint: base})
+	base.Close()
+	for _, workers := range []int{2, 5, 0} {
+		st := mk(fmt.Sprintf("w%d.ckpt", workers))
+		got := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: workers, Checkpoint: st})
+		st.Close()
+		for i := range got {
+			if got[i].Value != ref[i].Value {
+				t.Fatalf("workers=%d cell %d: %+v != %+v", workers, i, got[i].Value, ref[i].Value)
+			}
+			if (got[i].Err == nil) != (ref[i].Err == nil) {
+				t.Fatalf("workers=%d cell %d error mismatch: %v vs %v", workers, i, got[i].Err, ref[i].Err)
+			}
+		}
+	}
+}
+
+func TestReplayedPanicNamesItsCell(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 0, nil },
+		func(context.Context) (int, error) { panic("cbd cycle wedged") },
+	}
+	RunWith(context.Background(), jobs, Options{Workers: 1, Checkpoint: st})
+	st.Close()
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	e, ok := st2.Lookup(1)
+	if !ok {
+		t.Fatal("panicked cell not quarantined into the checkpoint")
+	}
+	if !strings.HasPrefix(e.Err, "job 1: ") || !strings.Contains(e.Err, "cbd cycle wedged") {
+		t.Fatalf("recorded panic %q lost its identity", e.Err)
+	}
+}

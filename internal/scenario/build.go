@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -41,10 +43,10 @@ type Overrides struct {
 // Sim is a built, ready-to-run scenario: the network plus handles to every
 // subsystem the spec instantiated.
 type Sim struct {
-	Spec     Spec
-	Topo     *topology.Topology
-	Table    *routing.Table
-	Net      *netsim.Network
+	Spec  Spec
+	Topo  *topology.Topology
+	Table *routing.Table
+	Net   *netsim.Network
 	// Flows lists the declared flows in add order (pattern or Flows
 	// section; generator flows are not included).
 	Flows    []*netsim.Flow
@@ -178,6 +180,11 @@ type Result struct {
 	// (zero when no registry was attached).
 	Violations int64
 	FaultStats faults.Stats
+	// Stopped is the governor verdict when a RunBounded run was ended by
+	// a budget, the stall watchdog or cancellation; nil for a run that
+	// reached its declared end. The summary fields above still describe
+	// the partial run up to the stop point.
+	Stopped *netsim.RunError
 }
 
 // Run executes the built scenario to its declared duration (honouring
@@ -211,6 +218,49 @@ func (s *Sim) Run() *Result {
 		s.Net.Run(d)
 	}
 
+	return s.summarise()
+}
+
+// RunBounded is Run under the netsim run governor: ctx cancellation,
+// event/wall budgets and the stall watchdog all apply, composed from the
+// spec's Limits block overlaid with the caller's extra budget (non-zero
+// caller fields win). A tripped governor returns the partial Result — with
+// Result.Stopped set — alongside the *netsim.RunError. Quiesce specs run
+// without the horizon heartbeat, so draining the queue still ends the run
+// early; StopOnDeadlock watching works as in Run.
+func (s *Sim) RunBounded(ctx context.Context, extra netsim.Budget) (*Result, error) {
+	d := s.Spec.Run.DurationNs
+	eng := s.Net.Engine()
+	if s.Spec.Run.StopOnDeadlock && s.Detector != nil {
+		var watch func()
+		watch = func() {
+			if s.Detector.Deadlocked() != nil {
+				eng.Stop()
+				return
+			}
+			eng.After(s.Detector.Interval, watch)
+		}
+		eng.After(s.Detector.Interval, watch)
+	}
+	if !s.Spec.Run.Quiesce {
+		// As in Run: pin the horizon so the clock reaches d even if the
+		// event queue drains early.
+		eng.Schedule(d, func() {})
+	}
+	err := s.Net.RunBounded(ctx, d, s.Spec.Limits.Budget().Overlay(extra))
+	res := s.summarise()
+	if err != nil {
+		var re *netsim.RunError
+		if errors.As(err, &re) {
+			res.Stopped = re
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+// summarise collects the run's verdict from the network and subsystems.
+func (s *Sim) summarise() *Result {
 	res := &Result{
 		Name:      s.Spec.Name,
 		FC:        s.Spec.Scheme.FC,

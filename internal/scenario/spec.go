@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/netsim"
@@ -47,6 +48,10 @@ type Spec struct {
 	Sim      SimSpec      `json:"sim,omitempty"`
 	Faults   *FaultsSpec  `json:"faults,omitempty"`
 	Run      RunSpec      `json:"run"`
+	// Limits declares run-governor bounds for the scenario; nil means
+	// unbounded. They apply only to governed runs (Sim.RunBounded) and are
+	// overlaid by any caller-side budget flags.
+	Limits *LimitsSpec `json:"limits,omitempty"`
 }
 
 // TopologySpec selects a topology builder and its parameters.
@@ -161,10 +166,46 @@ type SimSpec struct {
 // FaultsSpec references a fault scenario: a built-in preset by name or an
 // inline faults.Spec, injected with a private source seeded by Seed.
 type FaultsSpec struct {
-	Preset string      `json:"preset,omitempty"`
+	Preset string       `json:"preset,omitempty"`
 	Inline *faults.Spec `json:"inline,omitempty"`
 	// Seed seeds the injector; 0 uses Spec.Seed.
 	Seed int64 `json:"seed,omitempty"`
+}
+
+// LimitsSpec declares the scenario's run-governor budget: how far a run may
+// go before it is declared runaway. A fuzzed or mis-parameterised spec then
+// terminates with a structured verdict and a flight-recorder snapshot
+// instead of wedging its sweep.
+type LimitsSpec struct {
+	// MaxEvents caps fired events per governed run; 0 is unlimited.
+	MaxEvents uint64 `json:"max_events,omitempty"`
+	// MaxWallMs caps host wall-clock milliseconds; 0 is unlimited.
+	MaxWallMs int64 `json:"max_wall_ms,omitempty"`
+	// StallEvents arms netsim's livelock watchdog; 0 disables it.
+	StallEvents uint64 `json:"stall_events,omitempty"`
+	// CheckEvery is the governor polling interval in events; 0 uses the
+	// netsim default.
+	CheckEvery uint64 `json:"check_every,omitempty"`
+}
+
+// Budget converts the declared limits to a netsim budget.
+func (l *LimitsSpec) Budget() netsim.Budget {
+	if l == nil {
+		return netsim.Budget{}
+	}
+	return netsim.Budget{
+		MaxEvents:   l.MaxEvents,
+		MaxWall:     time.Duration(l.MaxWallMs) * time.Millisecond,
+		StallEvents: l.StallEvents,
+		CheckEvery:  l.CheckEvery,
+	}
+}
+
+func (l *LimitsSpec) validate() error {
+	if l.MaxWallMs < 0 {
+		return fmt.Errorf("scenario: limits: negative max_wall_ms %d", l.MaxWallMs)
+	}
+	return nil
 }
 
 // RunSpec declares duration and stop conditions.
@@ -243,6 +284,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Faults != nil {
 		if err := s.Faults.validate(); err != nil {
+			return err
+		}
+	}
+	if s.Limits != nil {
+		if err := s.Limits.validate(); err != nil {
 			return err
 		}
 	}
