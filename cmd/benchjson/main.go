@@ -1,0 +1,165 @@
+// Command benchjson runs the repository's hot-path benchmarks — the netsim
+// forwarding loops and the eventsim Schedule/Step microbenchmarks — and
+// emits one machine-readable JSON report with the derived throughput
+// figures: ns/event, events/sec and allocs/op per benchmark. The committed
+// BENCH_6.json at the repo root is one such report from a CI-class run;
+// regenerate it with:
+//
+//	go run ./cmd/benchjson -out BENCH_6.json
+//
+// benchjson shells out to `go test -bench` rather than linking the
+// benchmarks in, so the numbers come from exactly the same harness a
+// developer runs by hand, and the tool stays decoupled from test-internal
+// symbols.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+var (
+	out       = flag.String("out", "", "write the JSON report here (default stdout)")
+	count     = flag.Int("count", 1, "benchmark repetitions (-count); medians are not taken, every run is reported")
+	benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (-benchtime), e.g. 2s or 100x")
+)
+
+// targets are the benchmark suites the report covers: the simulation
+// hot path (forwarding, congestion retry, metrics-enabled forwarding) and
+// the event-engine core (shallow and deep heap regimes, schedule+cancel).
+var targets = []struct {
+	pkg     string
+	pattern string
+}{
+	{"./internal/netsim", "BenchmarkLinearForwarding$|BenchmarkCongestedFabric$|BenchmarkLinearForwardingMetrics$"},
+	{"./internal/eventsim", "BenchmarkScheduleRun$|BenchmarkEngineScheduleCancel$|BenchmarkScheduleRunDeep$"},
+}
+
+// Benchmark is one parsed benchmark line plus its derived rates. EventsPerOp
+// comes from the benchmarks' own events/op ReportMetric; benchmarks that
+// fire no events (schedule+cancel round trips) carry only the raw ns/op.
+type Benchmark struct {
+	Name         string  `json:"name"`
+	Package      string  `json:"package"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	NsPerEvent   float64 `json:"ns_per_event,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	flag.Parse()
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, t := range targets {
+		args := []string{"test", t.pkg, "-run", "^$", "-bench", t.pattern,
+			"-benchmem", "-count", strconv.Itoa(*count)}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+			os.Exit(1)
+		}
+		benches, cpu := parse(string(outBytes), t.pkg)
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in %s output\n", t.pkg)
+			os.Exit(1)
+		}
+		if cpu != "" {
+			rep.CPU = cpu
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benches...)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkName-8   1992   683126 ns/op   6638 events/op   19128 B/op   157 allocs/op
+//
+// i.e. the name, the iteration count, then value/unit pairs.
+func parse(output, pkg string) (benches []Benchmark, cpu string) {
+	for _, line := range strings.Split(output, "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Package:    pkg,
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "events/op":
+				b.EventsPerOp = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		if b.EventsPerOp > 0 && b.NsPerOp > 0 {
+			b.NsPerEvent = b.NsPerOp / b.EventsPerOp
+			b.EventsPerSec = b.EventsPerOp * 1e9 / b.NsPerOp
+		}
+		benches = append(benches, b)
+	}
+	return benches, cpu
+}

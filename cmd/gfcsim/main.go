@@ -13,9 +13,10 @@
 // each reports and how it maps to the paper.
 //
 // -scenario runs one declarative scenario end-to-end: either a registered
-// name (-list enumerates the catalogue, which includes every figure's
-// canonical setup and the Clos-scale clos128-* smoke scenarios) or a path to
-// a user-authored spec file in the JSON format documented in EXPERIMENTS.md.
+// name (-list enumerates the catalogue with per-scenario host counts; it
+// includes every figure's canonical setup plus the Clos-scale clos128-* and
+// clos1024-* scenarios) or a path to a user-authored spec file in the JSON
+// format documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -123,7 +124,7 @@ func main() {
 		fmt.Println("Registered scenarios (run with -scenario <name>):")
 		for _, name := range scenario.Names() {
 			s, _ := scenario.Get(name)
-			fmt.Printf("  %-28s %s\n", name, s.Description)
+			fmt.Printf("  %-28s %5d hosts  %s\n", name, s.Topology.HostCount(), s.Description)
 		}
 		return
 	}

@@ -3,7 +3,12 @@
 // callbacks. Events that share a timestamp fire in the order they were
 // scheduled, which makes every run deterministic.
 //
-// The queue is an index-addressed binary heap over a pool of event records.
+// The queue is an index-addressed 4-ary heap over a pool of event records.
+// The wider node fans out the tree to a quarter of the binary depth and keeps
+// each node's children in one or two cache lines, which is measurably faster
+// on deep queues; because the comparator (time, sequence) is a total order,
+// the pop sequence — and therefore every simulation result — is identical to
+// the binary heap's.
 // Records are recycled through a free list and addressed by stable ids, so
 // the steady state of a simulation — schedule, fire, schedule again —
 // allocates nothing. Handles returned by Schedule carry a generation
@@ -30,6 +35,14 @@ type Event struct {
 // At reports when the event was scheduled to fire.
 func (e Event) At() units.Time { return e.at }
 
+// Slot reports the event's pooled-record index: a small, dense, non-negative
+// integer that is stable for the event's lifetime and recycled after it fires
+// or is cancelled. Callers using Slot to index side tables must validate the
+// stored handle against the full Event (which carries the generation) before
+// trusting the entry — see Peek/Absorb. The zero Event's slot is 0 and is
+// only distinguishable by that generation check.
+func (e Event) Slot() int { return int(e.id) }
+
 // record is one pooled event. pos is its index in Engine.heap, -1 while the
 // record sits on the free list. gen starts at 1 so the zero Event handle
 // (gen 0) never matches a live record.
@@ -52,11 +65,15 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 
-	// Run-governor hook (SetHook): hookFn is consulted every hookEvery
-	// fired events during Run; nil when no governor is attached, so the
-	// ungoverned hot path pays a single nil check per event.
+	// Run-governor hook (SetHook): hookFn is consulted roughly every
+	// hookEvery fired events during Run; nil when no governor is attached,
+	// so the ungoverned hot path pays a single nil check per event. The
+	// check is a fired-counter threshold rather than a modulo so that
+	// Absorb — which credits events without a Step — cannot jump the
+	// counter over an exact boundary and silently skip a governor check.
 	hookFn    func() bool
 	hookEvery uint64
+	nextHook  uint64
 }
 
 // New returns a fresh engine with its clock at zero.
@@ -156,6 +173,7 @@ func (e *Engine) SetHook(every uint64, fn func() bool) {
 	}
 	e.hookFn = fn
 	e.hookEvery = every
+	e.nextHook = e.fired + every
 }
 
 // ClearHook detaches any installed run-governor hook.
@@ -179,6 +197,40 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// Peek returns a handle to the next event that would fire — the head of the
+// queue — without running or removing it, and reports whether one exists.
+func (e *Engine) Peek() (Event, bool) {
+	if len(e.heap) == 0 {
+		return Event{}, false
+	}
+	id := e.heap[0]
+	r := &e.records[id]
+	return Event{id: id, gen: r.gen, at: r.at}, true
+}
+
+// Absorb removes ev from the queue and credits it to the fired counter
+// WITHOUT invoking its callback, and reports whether it did so. It succeeds
+// only when ev is exactly the queue head (same record and generation, per
+// Peek) and is due at the current clock — i.e. when ev is provably the very
+// next event the engine would fire, so performing its work inline cannot
+// reorder anything. The caller assumes responsibility for doing that work.
+// This is how netsim drains a burst of same-timestamp deliveries in one
+// callback instead of N heap pops.
+func (e *Engine) Absorb(ev Event) bool {
+	if ev.gen == 0 || len(e.heap) == 0 {
+		return false
+	}
+	id := e.heap[0]
+	r := &e.records[id]
+	if id != ev.id || r.gen != ev.gen || r.at != e.now {
+		return false
+	}
+	e.removeAt(0)
+	e.fired++
+	e.release(id)
+	return true
+}
+
 // Run executes events until the queue drains, the clock passes until, or
 // Stop is called. It returns the time of the last executed event (or the
 // unchanged clock when nothing ran). Events scheduled at exactly until still
@@ -192,8 +244,11 @@ func (e *Engine) Run(until units.Time) units.Time {
 			break
 		}
 		e.Step()
-		if e.hookFn != nil && e.fired%e.hookEvery == 0 && !e.hookFn() {
-			break
+		if e.hookFn != nil && e.fired >= e.nextHook {
+			e.nextHook = e.fired + e.hookEvery
+			if !e.hookFn() {
+				break
+			}
 		}
 	}
 	return e.now
@@ -211,47 +266,63 @@ func (e *Engine) less(a, b int32) bool {
 	return ra.seq < rb.seq
 }
 
-// siftUp restores heap order from position i toward the root.
+// Heap layout: 4-ary, node i has parent (i-1)/4 and children 4i+1..4i+4.
+
+// siftUp restores heap order from position i toward the root. The moving
+// element's key is loaded once; each level costs a single record fetch.
 func (e *Engine) siftUp(i int32) {
-	h := e.heap
+	h, recs := e.heap, e.records
 	id := h[i]
+	at, seq := recs[id].at, recs[id].seq
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(id, h[parent]) {
+		parent := (i - 1) >> 2
+		p := &recs[h[parent]]
+		if at > p.at || (at == p.at && seq > p.seq) {
 			break
 		}
 		h[i] = h[parent]
-		e.records[h[i]].pos = i
+		p.pos = i
 		i = parent
 	}
 	h[i] = id
-	e.records[id].pos = i
+	recs[id].pos = i
 }
 
 // siftDown restores heap order from position i toward the leaves and reports
-// whether the element moved.
+// whether the element moved. The winning child's key is kept in registers
+// across the up-to-4-way scan so each child costs one record fetch.
 func (e *Engine) siftDown(i int32) bool {
-	h := e.heap
+	h, recs := e.heap, e.records
 	n := int32(len(h))
 	id := h[i]
+	at, seq := recs[id].at, recs[id].seq
 	start := i
 	for {
-		c := 2*i + 1
+		c := 4*i + 1
 		if c >= n {
 			break
 		}
-		if c+1 < n && e.less(h[c+1], h[c]) {
-			c++
+		// Smallest of the up-to-4 children.
+		m := &recs[h[c]]
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if !e.less(h[c], id) {
+		for k := c + 1; k < end; k++ {
+			r := &recs[h[k]]
+			if r.at < m.at || (r.at == m.at && r.seq < m.seq) {
+				c, m = k, r
+			}
+		}
+		if at < m.at || (at == m.at && seq < m.seq) {
 			break
 		}
 		h[i] = h[c]
-		e.records[h[i]].pos = i
+		m.pos = i
 		i = c
 	}
 	h[i] = id
-	e.records[id].pos = i
+	recs[id].pos = i
 	return i != start
 }
 

@@ -343,6 +343,9 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.Schedule(e.Now()+units.Time(i%100), fn)
 		e.Step()
 	}
+	// Exactly one event fires per op; the explicit metric lets benchjson
+	// derive ns/event uniformly across eventsim and netsim benchmarks.
+	b.ReportMetric(1, "events/op")
 }
 
 // BenchmarkEngineScheduleCancel measures the schedule+cancel round trip —
@@ -366,6 +369,26 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 		e.Cancel(standing[j])
 		standing[j] = e.Schedule(units.Time(i+2000000), fn)
 	}
+}
+
+// BenchmarkScheduleRunDeep keeps a standing population of 4096 pending
+// events so every Schedule/Step works a heap ~6 levels deep (4-ary) — the
+// regime where heap arity and cache locality matter, unlike the shallow
+// queues of BenchmarkScheduleRun.
+func BenchmarkScheduleRunDeep(b *testing.B) {
+	e := New()
+	fn := func() {}
+	const standing = 4096
+	for i := 0; i < standing; i++ {
+		e.Schedule(units.Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+units.Time(standing+i%1024), fn)
+		e.Step()
+	}
+	b.ReportMetric(1, "events/op")
 }
 
 func TestHookInterval(t *testing.T) {

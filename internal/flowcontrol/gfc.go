@@ -2,6 +2,7 @@ package flowcontrol
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/gfcsim/gfc/internal/core"
 	"github.com/gfcsim/gfc/internal/units"
@@ -41,8 +42,26 @@ type GFCBufferConfig struct {
 	Refresh units.Time
 }
 
-// NewGFCBuffer returns a Factory for buffer-based GFC.
+// stageTableKey identifies a stage-table construction; tables are pure
+// functions of it.
+type stageTableKey struct {
+	c      units.Rate
+	bm, b1 units.Size
+	ratio  float64
+}
+
+// NewGFCBuffer returns a Factory for buffer-based GFC. The factory memoizes
+// stage tables per distinct (capacity, Bm, B1, ratio): a table is immutable
+// after construction and identical for every channel with the same link
+// parameters, so a k-ary fat-tree wires thousands of controllers from a
+// handful of tables instead of building one each. The mutex makes the cache
+// safe when one Factory value is shared across sweep workers building
+// networks concurrently.
 func NewGFCBuffer(cfg GFCBufferConfig) Factory {
+	var (
+		mu     sync.Mutex
+		tables map[stageTableKey]*core.StageTable
+	)
 	return func(p Params, env Env) (Controller, error) {
 		if err := p.Validate(); err != nil {
 			return Controller{}, err
@@ -67,9 +86,22 @@ func NewGFCBuffer(cfg GFCBufferConfig) Factory {
 				"flowcontrol: B1 %v exceeds safe bound %v (Bm−Cτ/(1−r), r=%v, τ=%v)",
 				b1, bound, ratio, p.Tau)
 		}
-		table, err := core.NewStageTableRatio(p.Capacity, bm, b1, ratio)
-		if err != nil {
-			return Controller{}, err
+		key := stageTableKey{c: p.Capacity, bm: bm, b1: b1, ratio: ratio}
+		mu.Lock()
+		table, ok := tables[key]
+		mu.Unlock()
+		if !ok {
+			var err error
+			table, err = core.NewStageTableRatio(p.Capacity, bm, b1, ratio)
+			if err != nil {
+				return Controller{}, err
+			}
+			mu.Lock()
+			if tables == nil {
+				tables = make(map[stageTableKey]*core.StageTable)
+			}
+			tables[key] = table
+			mu.Unlock()
 		}
 		rl := NewRateLimiter(p.Capacity)
 		if cfg.MinRate > 0 {

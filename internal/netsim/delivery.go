@@ -11,7 +11,8 @@ import (
 // pre-bound callbacks — the in-flight transmission lives in the port's
 // txPkt/txPrio/txDur slots (a port serialises transmissions via busy), and
 // packets propagating on a channel sit in the receiving port's FIFO, popped
-// in order because a link's arrivals cannot overtake one another.
+// in order because a link's arrivals cannot overtake one another. Arrival
+// callbacks batch: see Network.arriveBatch.
 
 // completeTx finishes the port's in-flight transmission: notifies flow
 // control, releases ingress accounting at the transmitting switch,
@@ -21,8 +22,8 @@ func (n *Network) completeTx(p *port) {
 	p.txPkt = nil
 	now := n.eng.Now()
 	p.busy = false
-	p.senders[prio].OnSent(pkt.Size, dur)
-	p.txBytes[prio] += pkt.Size
+	n.senders[p.cb+prio].OnSent(pkt.Size, dur)
+	n.txBytes[p.cb+prio] += pkt.Size
 	n.cfg.Trace.transmit(now, p.owner.id, p.local, pkt)
 
 	switch p.owner.kind {
@@ -30,15 +31,16 @@ func (n *Network) completeTx(p *port) {
 		// The packet leaves this switch: release the ingress buffer
 		// of the port it arrived on.
 		ing := p.owner.ports[pkt.arrivalPort]
-		ing.occupancy[prio] -= pkt.Size
-		ing.progress[prio].departed += pkt.Size
-		ing.progress[prio].lastDepart = now
-		n.cfg.Trace.queue(now, p.owner.id, ing.local, prio, ing.occupancy[prio])
+		ch := ing.cb + prio
+		n.occupancy[ch] -= pkt.Size
+		n.progress[ch].departed += pkt.Size
+		n.progress[ch].lastDepart = now
+		n.cfg.Trace.queue(now, p.owner.id, ing.local, prio, n.occupancy[ch])
 		if reg := n.metrics; reg != nil {
-			reg.OnRelease(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio])
+			reg.OnRelease(ch, now, pkt.Size, n.occupancy[ch])
 		}
-		if r := ing.receivers[prio]; r != nil {
-			r.OnDeparture(pkt.Size, ing.occupancy[prio])
+		if r := n.receivers[ch]; r != nil {
+			r.OnDeparture(pkt.Size, n.occupancy[ch])
 		}
 	case topology.Host:
 		pkt.Flow.sent += pkt.Size
@@ -48,10 +50,10 @@ func (n *Network) completeTx(p *port) {
 
 	rp := n.nodes[p.peer].ports[p.peerPort]
 	if reg := n.metrics; reg != nil {
-		reg.OnTx(rp.mBase+prio, pkt.Size)
+		reg.OnTx(rp.cb+prio, pkt.Size)
 	}
 	rp.pushInFlight(pkt)
-	n.eng.After(p.link.Delay, rp.arriveFn)
+	n.noteArrival(n.eng.After(p.link.Delay, rp.arriveFn), rp)
 	n.kick(p)
 }
 
@@ -66,7 +68,7 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 		if reg := n.metrics; reg != nil {
 			// Hosts consume on arrival; account the delivery with a
 			// permanently empty ingress.
-			reg.OnAdmit(nd.ports[idx].mBase+pkt.Priority, now, pkt.Size, 0)
+			reg.OnAdmit(nd.ports[idx].cb+pkt.Priority, now, pkt.Size, 0)
 		}
 		n.cfg.Trace.deliver(now, f, pkt)
 		if f.OnPacket != nil {
@@ -79,7 +81,7 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 				f.OnDone(f)
 			}
 		}
-		recyclePacket(pkt)
+		n.recyclePacket(pkt)
 		return
 	}
 
@@ -93,26 +95,27 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 	}
 	prio := pkt.Priority
 	ing := nd.ports[idx]
-	occ := ing.occupancy[prio] + pkt.Size
+	ch := ing.cb + prio
+	occ := n.occupancy[ch] + pkt.Size
 	if occ > ing.buffer {
 		// A lossless fabric must never get here; record and drop.
 		n.drops++
 		n.cfg.Trace.drop(now, nd.id, pkt)
 		if reg := n.metrics; reg != nil {
-			reg.OnDrop(ing.mBase+prio, now, pkt.Size, occ)
+			reg.OnDrop(ch, now, pkt.Size, occ)
 		}
-		recyclePacket(pkt)
+		n.recyclePacket(pkt)
 		return
 	}
-	if ing.occupancy[prio] == 0 {
-		ing.progress[prio].occupiedSince = now
+	if n.occupancy[ch] == 0 {
+		n.progress[ch].occupiedSince = now
 	}
-	ing.occupancy[prio] = occ
+	n.occupancy[ch] = occ
 	n.cfg.Trace.queue(now, nd.id, idx, prio, occ)
 	if reg := n.metrics; reg != nil {
-		reg.OnAdmit(ing.mBase+prio, now, pkt.Size, occ)
+		reg.OnAdmit(ch, now, pkt.Size, occ)
 	}
-	if r := ing.receivers[prio]; r != nil {
+	if r := n.receivers[ch]; r != nil {
 		r.OnArrival(pkt.Size, occ)
 	}
 	pkt.arrivalPort = idx
@@ -130,8 +133,9 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
 			pkt.ECN = true
 		}
-		ing.inq[prio] = append(ing.inq[prio], pkt)
-		if len(ing.inq[prio]) == 1 {
+		q := &n.inq[ch]
+		q.push(pkt)
+		if q.len() == 1 {
 			n.kick(out)
 		}
 		return
@@ -141,13 +145,13 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 		if n.cfg.ECNThreshold > 0 && occ >= n.cfg.ECNThreshold {
 			pkt.ECN = true
 		}
-		ing.inq[prio] = append(ing.inq[prio], pkt)
+		n.inq[ch].push(pkt)
 		n.forward(nd, prio)
 		return
 	}
-	if n.cfg.ECNThreshold > 0 && out.queuedBytes[prio] >= n.cfg.ECNThreshold {
+	if n.cfg.ECNThreshold > 0 && n.queuedBytes[out.cb+prio] >= n.cfg.ECNThreshold {
 		pkt.ECN = true
 	}
-	out.enqueue(pkt)
+	n.enqueue(out, pkt)
 	n.kick(out)
 }

@@ -91,9 +91,9 @@ func (n *Network) SetLinkAdminState(id topology.LinkID, down bool) {
 			continue
 		}
 		for _, p := range nd.ports {
-			for prio := range p.occupancy {
-				if p.occupancy[prio] > 0 {
-					p.progress[prio].occupiedSince = now
+			for prio := 0; prio < n.cfg.Priorities; prio++ {
+				if n.occupancy[p.cb+prio] > 0 {
+					n.progress[p.cb+prio].occupiedSince = now
 				}
 			}
 		}

@@ -217,14 +217,15 @@ func (n *Network) Snapshot() *Snapshot {
 			if p.txPkt != nil {
 				s.Packets.Transmitting++
 			}
-			s.Packets.OnWire += len(p.propQueue) - p.propHead
-			for prio := range p.inq {
-				s.Packets.InputQueued += len(p.inq[prio])
-				for i := range p.voqs[prio] {
-					s.Packets.EgressQueued += len(p.voqs[prio][i].pkts)
+			s.Packets.OnWire += p.prop.len()
+			for prio := 0; prio < n.cfg.Priorities; prio++ {
+				ch := p.cb + prio
+				s.Packets.InputQueued += n.inq[ch].len()
+				for i := 0; i < p.slots; i++ {
+					s.Packets.EgressQueued += n.voqs[p.voqBase+prio*p.slots+i].q.len()
 				}
-				occ := p.occupancy[prio]
-				queued := p.queuedBytes[prio]
+				occ := n.occupancy[ch]
+				queued := n.queuedBytes[ch]
 				if occ == 0 && queued == 0 {
 					continue
 				}
@@ -237,11 +238,11 @@ func (n *Network) Snapshot() *Snapshot {
 					Occupancy: occ, QueuedBytes: queued,
 					LastStage: -1, MaxStage: -1,
 				}
-				if snd := p.senders[prio]; snd != nil {
+				if snd := n.senders[ch]; snd != nil {
 					dump.Rate = snd.Rate()
 				}
 				if reg := n.metrics; reg != nil {
-					c := reg.Counter(p.mBase + prio)
+					c := reg.Counter(ch)
 					dump.HighWater = c.HighWater
 					dump.LastStage = c.LastStage
 					dump.MaxStage = c.MaxStage

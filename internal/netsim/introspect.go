@@ -41,18 +41,19 @@ func (n *Network) ChannelStates() []ChannelState {
 			if p.link.Failed {
 				continue
 			}
-			for prio := range p.voqs {
+			for prio := 0; prio < n.cfg.Priorities; prio++ {
 				cs := ChannelState{
 					Node: nd.id, Port: p.local, Prio: prio,
 					Peer: p.peer, PeerPort: p.peerPort,
-					QueuedBytes: p.queuedBytes[prio],
-					TxBytes:     p.txBytes[prio],
+					QueuedBytes: n.queuedBytes[p.cb+prio],
+					TxBytes:     n.txBytes[p.cb+prio],
 				}
-				if s := p.senders[prio]; s != nil {
+				if s := n.senders[p.cb+prio]; s != nil {
 					cs.Rate = s.Rate()
 				}
-				for key, b := range p.fedBytes[prio] {
-					if b > 0 {
+				fed := n.fedBytes[p.fedBase+prio*len(nd.ports):]
+				for key := 0; key < len(nd.ports); key++ {
+					if fed[key] > 0 {
 						cs.FedBy = append(cs.FedBy, key)
 					}
 				}
@@ -116,19 +117,20 @@ func (n *Network) IngressStates() []IngressState {
 			if p.link.Failed {
 				continue
 			}
-			for prio := range p.occupancy {
+			for prio := 0; prio < n.cfg.Priorities; prio++ {
+				ch := p.cb + prio
 				is := IngressState{
 					Node: nd.id, Port: p.local, Prio: prio,
 					From:          p.peer,
-					Occupancy:     p.occupancy[prio],
-					Departed:      p.progress[prio].departed,
-					LastDepartAt:  p.progress[prio].lastDepart,
-					OccupiedSince: p.progress[prio].occupiedSince,
+					Occupancy:     n.occupancy[ch],
+					Departed:      n.progress[ch].departed,
+					LastDepartAt:  n.progress[ch].lastDepart,
+					OccupiedSince: n.progress[ch].occupiedSince,
 				}
 				addWait := func(eg *port) {
 					is.WaitsOn = append(is.WaitsOn, eg.peer)
 					var r units.Rate
-					if s := eg.senders[prio]; s != nil {
+					if s := n.senders[eg.cb+prio]; s != nil {
 						r = s.Rate()
 					}
 					is.WaitRates = append(is.WaitRates, r)
@@ -136,8 +138,8 @@ func (n *Network) IngressStates() []IngressState {
 				}
 				switch n.cfg.Scheduling {
 				case SchedInputQueued:
-					if q := p.inq[prio]; len(q) > 0 {
-						head := q[0]
+					if q := &n.inq[ch]; !q.empty() {
+						head := q.front()
 						addWait(nd.ports[head.Path[head.hop].Port])
 					}
 				case SchedBlocking:
@@ -147,21 +149,21 @@ func (n *Network) IngressStates() []IngressState {
 					// forwarding core is stalled on (or on
 					// their own head's egress).
 					for _, eg := range nd.ports {
-						if eg.fedBytes[prio][p.local] > 0 {
+						if n.fedBytes[eg.fedBase+prio*len(nd.ports)+p.local] > 0 {
 							addWait(eg)
 						}
 					}
-					if len(p.inq[prio]) > 0 {
-						if b := nd.fwdBlocked[prio]; b != nil {
+					if !n.inq[ch].empty() {
+						if b := n.fwdBlocked[nd.nb+prio]; b != nil {
 							addWait(b)
 						} else {
-							head := p.inq[prio][0]
+							head := n.inq[ch].front()
 							addWait(nd.ports[head.Path[head.hop].Port])
 						}
 					}
 				default:
 					for _, eg := range nd.ports {
-						if eg.fedBytes[prio][p.local] > 0 {
+						if n.fedBytes[eg.fedBase+prio*len(nd.ports)+p.local] > 0 {
 							addWait(eg)
 						}
 					}
@@ -187,30 +189,30 @@ func (n *Network) DropIngressHead(node topology.NodeID, portIdx, prio int) bool 
 		return false
 	}
 	ing := nd.ports[portIdx]
-	q := ing.inq[prio]
-	if len(q) == 0 {
+	ch := ing.cb + prio
+	q := &n.inq[ch]
+	if q.empty() {
 		return false
 	}
-	pkt := q[0]
-	ing.inq[prio] = q[1:]
-	ing.occupancy[prio] -= pkt.Size
-	ing.progress[prio].departed += pkt.Size
+	pkt := q.pop()
+	n.occupancy[ch] -= pkt.Size
+	n.progress[ch].departed += pkt.Size
 	n.drops++
 	now := n.eng.Now()
-	ing.progress[prio].lastDepart = now
+	n.progress[ch].lastDepart = now
 	n.cfg.Trace.drop(now, node, pkt)
-	n.cfg.Trace.queue(now, node, portIdx, prio, ing.occupancy[prio])
+	n.cfg.Trace.queue(now, node, portIdx, prio, n.occupancy[ch])
 	if reg := n.metrics; reg != nil {
-		reg.OnDrop(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio]+pkt.Size)
-		reg.OnRelease(ing.mBase+prio, now, pkt.Size, ing.occupancy[prio])
+		reg.OnDrop(ch, now, pkt.Size, n.occupancy[ch]+pkt.Size)
+		reg.OnRelease(ch, now, pkt.Size, n.occupancy[ch])
 	}
-	if r := ing.receivers[prio]; r != nil {
-		r.OnDeparture(pkt.Size, ing.occupancy[prio])
+	if r := n.receivers[ch]; r != nil {
+		r.OnDeparture(pkt.Size, n.occupancy[ch])
 	}
-	recyclePacket(pkt)
+	n.recyclePacket(pkt)
 	// The freed head may expose a packet for an idle egress.
-	if len(ing.inq[prio]) > 0 {
-		head := ing.inq[prio][0]
+	if !q.empty() {
+		head := q.front()
 		n.kick(nd.ports[head.Path[head.hop].Port])
 	}
 	return true

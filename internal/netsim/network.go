@@ -13,6 +13,15 @@ import (
 	"github.com/gfcsim/gfc/internal/units"
 )
 
+// arrivalEntry maps a pending link-arrival event to the port it will deliver
+// to, indexed by the event's Slot. Entries go stale when their event fires or
+// is absorbed; staleness is detected by comparing the stored handle (which
+// carries the generation) against the engine's head, never by clearing.
+type arrivalEntry struct {
+	ev eventsim.Event
+	p  *port
+}
+
 // Network is a runnable simulation instance. Each Network owns its own
 // event engine and shares no mutable state with any other, so independent
 // instances may run concurrently on different goroutines (the
@@ -32,6 +41,43 @@ type Network struct {
 	faults *faults.Injector
 
 	feedbackBytes units.Size // total feedback wire bytes, all channels
+
+	// Struct-of-arrays hot-path state. Per-channel arrays are indexed by
+	// the dense channel index cb+prio (port.cb), which by construction
+	// equals the metrics registry's ChannelIndex for the same (node,
+	// port, priority) — one index addresses a channel everywhere. Dense
+	// arrays keep each iteration's working set contiguous and make the
+	// per-port construction cost a handful of bulk allocations instead of
+	// ~10 small slices per port.
+	ports       []port            // arena; node.ports points into it
+	occupancy   []units.Size      // ingress buffer occupancy
+	progress    []ingressProgress // ingress forwarding-progress records
+	queuedBytes []units.Size      // egress backlog
+	txBytes     []units.Size      // cumulative egress bytes serialised
+	senders     []flowcontrol.Sender
+	receivers   []flowcontrol.Receiver
+	rrVoq       []int32    // round-robin cursor over VOQs / input ports
+	inq         []pktQueue // ingress FIFOs (SchedInputQueued/SchedBlocking)
+	// voqs and fedBytes have port-dependent strides; see port.voqBase and
+	// port.fedBase.
+	voqs     []voq
+	fedBytes []units.Size
+	// Per-(node, priority) SchedBlocking forwarding state, indexed
+	// node.nb+prio.
+	fwdCursor  []int32
+	fwdBlocked []*port // egress whose full TX ring stalls forwarding
+	forwarding []bool  // re-entrancy guard
+
+	// arrEv maps pending arrival events to their ports (by event Slot)
+	// so a delivery callback can absorb same-timestamp deliveries for
+	// the same node straight off the head of the event queue.
+	arrEv []arrivalEntry
+
+	// Packet free list, per network: deterministic (unlike a sync.Pool,
+	// which drains on GC) and allocated in arena chunks so a run costs a
+	// few chunk allocations rather than one per live packet.
+	freePkts []*Packet
+	pktArena []Packet
 }
 
 // New builds a simulation of topo under cfg. Every live channel direction
@@ -45,41 +91,71 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	if cfg.FeedbackJitter > 0 {
 		n.jitter = rand.New(rand.NewSource(cfg.JitterSeed))
 	}
-	n.nodes = make([]*node, topo.NumNodes())
+	k := cfg.Priorities
+	nn := topo.NumNodes()
+
+	// Pass 1: size the dense arrays. The channel index layout must match
+	// metrics.Registry.Bind exactly: channels in (node, port, priority)
+	// order.
+	totalPorts, totalVoqs, totalFed := 0, 0, 0
+	for id := 0; id < nn; id++ {
+		ats := topo.Ports(topology.NodeID(id))
+		totalPorts += len(ats)
+		slots := 1
+		if cfg.Scheduling == SchedVOQ {
+			slots = len(ats)
+		}
+		totalVoqs += len(ats) * k * slots
+		totalFed += len(ats) * k * len(ats)
+	}
+	chans := totalPorts * k
+	n.ports = make([]port, totalPorts)
+	n.occupancy = make([]units.Size, chans)
+	n.progress = make([]ingressProgress, chans)
+	n.queuedBytes = make([]units.Size, chans)
+	n.txBytes = make([]units.Size, chans)
+	n.senders = make([]flowcontrol.Sender, chans)
+	n.receivers = make([]flowcontrol.Receiver, chans)
+	n.rrVoq = make([]int32, chans)
+	n.inq = make([]pktQueue, chans)
+	n.voqs = make([]voq, totalVoqs)
+	n.fedBytes = make([]units.Size, totalFed)
+	n.fwdCursor = make([]int32, nn*k)
+	n.fwdBlocked = make([]*port, nn*k)
+	n.forwarding = make([]bool, nn*k)
+
+	// Pass 2: build nodes and ports, assigning each port its bases.
+	n.nodes = make([]*node, nn)
+	pb, cb, vb, fb := 0, 0, 0, 0
 	for id := range n.nodes {
 		tn := topo.Node(topology.NodeID(id))
-		nd := &node{id: tn.ID, kind: tn.Kind, refillAt: units.Never}
-		nd.fwdCursor = make([]int, cfg.Priorities)
-		nd.fwdBlocked = make([]*port, cfg.Priorities)
-		nd.forwarding = make([]bool, cfg.Priorities)
+		nd := &node{id: tn.ID, kind: tn.Kind, nb: id * k, refillAt: units.Never}
 		ats := topo.Ports(tn.ID)
 		nd.ports = make([]*port, len(ats))
+		slots := 1
+		if cfg.Scheduling == SchedVOQ {
+			slots = len(ats)
+		}
 		for i, at := range ats {
-			p := &port{
+			p := &n.ports[pb]
+			pb++
+			*p = port{
 				owner: nd, local: i, link: at.Link, peer: at.Peer,
 				peerPort: at.Link.PortOn(at.Peer),
 				capacity: at.Link.Capacity,
 				kickAt:   units.Never,
+				sched:    cfg.Scheduling,
+				cb:       cb, voqBase: vb, slots: slots, fedBase: fb,
+				buffer: cfg.BufferSize,
 			}
-			k := cfg.Priorities
-			p.sched = cfg.Scheduling
-			p.voqs = make([][]voq, k)
-			p.fedBytes = make([][]units.Size, k)
-			p.rrVoq = make([]int, k)
-			p.inq = make([][]*Packet, k)
-			for prio := 0; prio < k; prio++ {
-				p.voqs[prio] = make([]voq, len(ats))
-				p.fedBytes[prio] = make([]units.Size, len(ats))
-			}
-			p.queuedBytes = make([]units.Size, k)
-			p.txBytes = make([]units.Size, k)
-			p.occupancy = make([]units.Size, k)
-			p.progress = make([]ingressProgress, k)
-			p.senders = make([]flowcontrol.Sender, k)
-			p.receivers = make([]flowcontrol.Receiver, k)
-			p.buffer = cfg.BufferSize
+			cb += k
+			vb += k * slots
+			fb += k * len(ats)
 			if tn.Kind == topology.Host {
 				p.buffer = hostBuffer
+			}
+			if k > 1 {
+				p.prioScratch = make([]int, 0, k)
 			}
 			nd.ports[i] = p
 		}
@@ -102,7 +178,7 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 				n.kick(p)
 			}
 			p.txDoneFn = func() { n.completeTx(p) }
-			p.arriveFn = func() { n.arrive(p.owner, p.local, p.popInFlight()) }
+			p.arriveFn = func() { n.arriveBatch(p) }
 		}
 	}
 	// Wire controllers: for channel u→v, the Sender lives on u's port
@@ -113,7 +189,7 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 				continue
 			}
 			up := n.nodes[p.peer].ports[p.peerPort] // upstream egress port
-			for prio := 0; prio < cfg.Priorities; prio++ {
+			for prio := 0; prio < k; prio++ {
 				params := flowcontrol.Params{
 					Capacity: p.capacity,
 					Buffer:   p.buffer,
@@ -127,8 +203,8 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 					return nil, fmt.Errorf("netsim: channel %s->%s prio %d: %w",
 						topo.Node(p.peer).Name, topo.Node(nd.id).Name, prio, err)
 				}
-				p.receivers[prio] = ctl.Receiver
-				up.senders[prio] = ctl.Sender
+				n.receivers[p.cb+prio] = ctl.Receiver
+				n.senders[up.cb+prio] = ctl.Sender
 			}
 		}
 	}
@@ -153,16 +229,19 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 			}
 			infos[id] = info
 		}
-		reg.Bind(infos, cfg.Priorities)
+		reg.Bind(infos, k)
 		for _, nd := range n.nodes {
 			for _, p := range nd.ports {
-				p.mBase = reg.ChannelIndex(nd.id, p.local, 0)
+				if got := reg.ChannelIndex(nd.id, p.local, 0); got != p.cb {
+					panic(fmt.Sprintf("netsim: channel index desync: node %d port %d: netsim %d, metrics %d",
+						nd.id, p.local, p.cb, got))
+				}
 				if p.link.Failed {
 					continue
 				}
 				up := n.nodes[p.peer].ports[p.peerPort]
-				for prio := 0; prio < cfg.Priorities; prio++ {
-					s := up.senders[prio]
+				for prio := 0; prio < k; prio++ {
+					s := n.senders[up.cb+prio]
 					if s == nil {
 						continue
 					}
@@ -176,10 +255,10 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 						if ceil > p.buffer {
 							ceil = p.buffer
 						}
-						reg.SetCeiling(p.mBase+prio, ceil)
+						reg.SetCeiling(p.cb+prio, ceil)
 					}
 					if st, ok := s.(flowcontrol.Staged); ok {
-						reg.CheckStageTable(p.mBase+prio, st.StageTable())
+						reg.CheckStageTable(p.cb+prio, st.StageTable())
 					}
 				}
 			}
@@ -200,14 +279,56 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	// Start receivers (periodic feedback, initial credit adverts).
 	for _, nd := range n.nodes {
 		for _, p := range nd.ports {
-			for _, r := range p.receivers {
-				if r != nil {
+			for prio := 0; prio < k; prio++ {
+				if r := n.receivers[p.cb+prio]; r != nil {
 					r.Start()
 				}
 			}
 		}
 	}
 	return n, nil
+}
+
+// noteArrival records ev as the pending arrival delivering to p, keyed by
+// the event's slot, so arriveBatch can recognise it at the queue head.
+func (n *Network) noteArrival(ev eventsim.Event, p *port) {
+	s := ev.Slot()
+	for s >= len(n.arrEv) {
+		n.arrEv = append(n.arrEv, make([]arrivalEntry, s+1-len(n.arrEv))...)
+	}
+	n.arrEv[s] = arrivalEntry{ev: ev, p: p}
+}
+
+// arriveBatch is the pre-bound arrival callback for port p: it admits p's
+// oldest in-flight packet, then keeps absorbing further arrival events for
+// the *same node* that are due at this exact instant and sit at the head of
+// the event queue. Each absorbed event is provably the very next event the
+// engine would fire (same head, same timestamp — the engine's Absorb
+// enforces both), so draining the burst inline executes the identical
+// admission sequence the engine would have produced with N heap pops; only
+// the heap traffic is saved. Deliveries to other nodes, or any interleaved
+// non-arrival event, stop the batch by failing the head comparison.
+func (n *Network) arriveBatch(p *port) {
+	n.arrive(p.owner, p.local, p.popInFlight())
+	nd := p.owner
+	for {
+		top, ok := n.eng.Peek()
+		if !ok || top.At() != n.eng.Now() {
+			return
+		}
+		s := top.Slot()
+		if s >= len(n.arrEv) {
+			return
+		}
+		ent := n.arrEv[s]
+		if ent.ev != top || ent.p.owner != nd {
+			return
+		}
+		if !n.eng.Absorb(top) {
+			return
+		}
+		n.arrive(nd, ent.p.local, ent.p.popInFlight())
+	}
 }
 
 // tauFor bounds the feedback latency of channel into p per equation (6).
@@ -240,7 +361,7 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 	n.feedbackBytes += wire
 	n.cfg.Trace.feedback(n.eng.Now(), e.down.owner.id, e.up.owner.id, e.prio, wire)
 	if reg := n.metrics; reg != nil {
-		reg.OnFeedback(e.down.mBase+e.prio, n.eng.Now(), feedbackClass(m.Kind), m.Stage, wire)
+		reg.OnFeedback(e.down.cb+e.prio, n.eng.Now(), feedbackClass(m.Kind), m.Stage, wire)
 	}
 	delay := units.TransmissionTime(wire, e.down.capacity) +
 		e.down.link.Delay + n.cfg.ProcDelay
@@ -255,7 +376,7 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 		if reg := n.metrics; reg != nil {
 			reg.OnFault(metrics.FaultEvent{
 				Kind: metrics.FaultFeedbackDrop, At: now,
-				Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+				Channel: e.down.cb + e.prio, Link: e.down.link.ID,
 				Node: e.down.owner.id,
 			})
 		}
@@ -268,7 +389,7 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 			if reg := n.metrics; reg != nil {
 				reg.OnFault(metrics.FaultEvent{
 					Kind: metrics.FaultFeedbackDrop, At: now,
-					Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+					Channel: e.down.cb + e.prio, Link: e.down.link.ID,
 					Node: e.down.owner.id,
 				})
 			}
@@ -279,13 +400,13 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 			if reg := n.metrics; reg != nil {
 				reg.OnFault(metrics.FaultEvent{
 					Kind: metrics.FaultFeedbackDelay, At: now,
-					Channel: e.down.mBase + e.prio, Link: e.down.link.ID,
+					Channel: e.down.cb + e.prio, Link: e.down.link.ID,
 					Node: e.down.owner.id,
 				})
 			}
 		}
 	}
-	sender := e.up.senders[e.prio]
+	sender := n.senders[e.up.cb+e.prio]
 	up := e.up
 	n.eng.After(delay, func() {
 		sender.OnFeedback(m)
@@ -393,13 +514,13 @@ func (n *Network) StopFlow(f *Flow, at units.Time) {
 // IngressQueue reports the ingress occupancy of the given node/port/priority
 // — what the flow-control Receiver observes.
 func (n *Network) IngressQueue(node topology.NodeID, portIdx, prio int) units.Size {
-	return n.nodes[node].ports[portIdx].occupancy[prio]
+	return n.occupancy[n.nodes[node].ports[portIdx].cb+prio]
 }
 
 // SenderRate reports the currently permitted rate of the egress flow
 // controller at node/port/priority.
 func (n *Network) SenderRate(node topology.NodeID, portIdx, prio int) units.Rate {
-	s := n.nodes[node].ports[portIdx].senders[prio]
+	s := n.senders[n.nodes[node].ports[portIdx].cb+prio]
 	if s == nil {
 		return 0
 	}

@@ -12,8 +12,6 @@
 package netsim
 
 import (
-	"sync"
-
 	"github.com/gfcsim/gfc/internal/routing"
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -45,24 +43,35 @@ type Packet struct {
 	sentAt units.Time // when the source host finished serialising it
 }
 
-// packetPool is the free list packets are drawn from at host injection and
-// returned to at delivery or drop. An enterprise-workload sweep pushes
-// millions of packets through each Network; recycling them keeps the hot
-// path allocation-free in steady state. The pool is shared across Networks
-// (and worker goroutines), which is safe because a packet is fully zeroed
-// before reuse and no simulation decision ever depends on a packet's
-// identity — so determinism is unaffected.
-var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+// pktChunk is how many packets a Network's arena grows by at a time. The
+// live-packet population is bounded by queue depths, so a run costs a few
+// chunk allocations total rather than one per packet.
+const pktChunk = 64
 
-// newPacket returns a zeroed packet from the free list.
-func newPacket() *Packet { return packetPool.Get().(*Packet) }
+// newPacket returns a zeroed packet from the network's free list. The list
+// is per-network — unlike the former shared sync.Pool it never drains on
+// GC, so the steady state is allocation-free regardless of collector
+// timing, and recycling order is deterministic by construction.
+func (n *Network) newPacket() *Packet {
+	if l := len(n.freePkts); l > 0 {
+		pkt := n.freePkts[l-1]
+		n.freePkts = n.freePkts[:l-1]
+		return pkt
+	}
+	if len(n.pktArena) == 0 {
+		n.pktArena = make([]Packet, pktChunk)
+	}
+	pkt := &n.pktArena[0]
+	n.pktArena = n.pktArena[1:]
+	return pkt
+}
 
 // recyclePacket returns a packet whose journey ended (delivered or dropped)
 // to the free list. Callers must not hold references past this point; trace
 // hooks have already fired.
-func recyclePacket(pkt *Packet) {
+func (n *Network) recyclePacket(pkt *Packet) {
 	*pkt = Packet{}
-	packetPool.Put(pkt)
+	n.freePkts = append(n.freePkts, pkt)
 }
 
 // CurrentHop returns the hop the packet is about to transmit over.

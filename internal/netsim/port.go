@@ -2,17 +2,24 @@ package netsim
 
 import (
 	"github.com/gfcsim/gfc/internal/eventsim"
-	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/topology"
 	"github.com/gfcsim/gfc/internal/units"
 )
 
+// Hot-path state does not live on the port: it lives in dense struct-of-
+// arrays on the Network, indexed by the dense channel index cb+prio (see
+// Network's state block). The port keeps only identity, the precomputed
+// index bases, and the per-port scalars (busy flag, in-flight transmission,
+// timers). This mirrors the metrics registry's channel indexing, so one
+// index addresses a channel's occupancy, backlog, controllers and counters
+// across every array.
+
 // voq is one virtual output queue: the packets a single input port has
-// pending on an egress. In FIFO mode only voqs[prio][0] is used and holds
-// the mixed arrival-order queue; per-input byte accounting is kept either
-// way for the deadlock detector's FedBy edges.
+// pending on an egress. In FIFO mode a port has one slot per priority and it
+// holds the mixed arrival-order queue; per-input byte accounting is kept
+// either way (Network.fedBytes) for the deadlock detector's FedBy edges.
 type voq struct {
-	pkts  []*Packet
+	q     pktQueue
 	bytes units.Size
 }
 
@@ -31,49 +38,49 @@ type port struct {
 	// place for the link's return.
 	adminDown bool
 
-	// Egress state.
-	sched       Scheduling
-	voqs        [][]voq        // [priority][arrival port] (FIFO mode: slot 0 only)
-	fedBytes    [][]units.Size // [priority][arrival port] backlog accounting
-	rrVoq       []int          // per priority, round-robin cursor over VOQs
-	queuedBytes []units.Size
-	queuedPkts  int
-	busy        bool
-	senders     []flowcontrol.Sender
-	rr          int
-	wrrCredit   []int        // weighted-RR packet credits per priority (nil: equal)
-	txBytes     []units.Size // per priority, cumulative data serialised
+	sched Scheduling
+
+	// Dense index bases into the Network's struct-of-arrays state.
+	//
+	// cb is the channel base: the index of (this port, priority 0) in
+	// every per-channel array (occupancy, queuedBytes, txBytes, progress,
+	// senders, receivers, rrVoq, inq) — and, by construction, the metrics
+	// registry's ChannelIndex for the same channel, so cb+prio also
+	// addresses the registry.
+	cb int
+	// voqBase and slots address Network.voqs: the egress queue for
+	// (prio, slot) is voqs[voqBase + prio*slots + slot]. slots is the
+	// owner's port count under SchedVOQ and 1 otherwise.
+	voqBase int
+	slots   int
+	// fedBase addresses Network.fedBytes: the per-input backlog of
+	// (prio, arrival key) is fedBytes[fedBase + prio*len(owner.ports) + key].
+	fedBase int
+
+	// Egress scalars.
+	queuedPkts int
+	busy       bool
+	rr         int
+	wrrCredit  []int // weighted-RR packet credits per priority (nil: equal)
+	// prioScratch is the reusable buffer prioOrder fills when the network
+	// runs more than one priority class; nil in the single-class case.
+	prioScratch []int
 
 	// Pre-bound event callbacks, created once at network construction so
 	// the hot path schedules stored funcs instead of allocating a fresh
 	// closure per kick, transmission and arrival.
-	kickFn    func()     // wake-up timer: retry a flow-control-blocked egress
-	txDoneFn  func()     // transmission completion for the in-flight packet
-	arriveFn  func()     // link-delay arrival at the *receiving* end (this port)
-	kickAt    units.Time // when the pending kick timer fires; Never if none
-	kickEv    eventsim.Event
-	txPkt     *Packet // the single in-flight transmission (guarded by busy)
-	txPrio    int
-	txDur     units.Time
-	propQueue []*Packet // packets in flight *toward* this port, FIFO
-	propHead  int
+	kickFn   func()     // wake-up timer: retry a flow-control-blocked egress
+	txDoneFn func()     // transmission completion for the in-flight packet
+	arriveFn func()     // link-delay arrival at the *receiving* end (this port)
+	kickAt   units.Time // when the pending kick timer fires; Never if none
+	kickEv   eventsim.Event
+	txPkt    *Packet // the single in-flight transmission (guarded by busy)
+	txPrio   int
+	txDur    units.Time
+	prop     pktQueue // packets in flight *toward* this port, FIFO
 
-	// Ingress state.
-	occupancy []units.Size
-	// progress holds the per-priority forwarding-progress counters (one
-	// slice, one allocation — this sits on the per-network construction
-	// path the alloc benchmarks budget).
-	progress  []ingressProgress
-	receivers []flowcontrol.Receiver
-	buffer    units.Size
-	// mBase is the metrics channel index of (this port, priority 0); the
-	// hot path indexes the registry with mBase+prio. Unused (0) when
-	// metrics are disabled.
-	mBase int
-	// inq is the per-priority ingress FIFO used by SchedInputQueued at
-	// switches: packets wait here until their egress can take them, with
-	// head-of-line blocking.
-	inq [][]*Packet
+	// Ingress scalars.
+	buffer units.Size
 }
 
 // ingressProgress is one priority's forwarding-progress record: cumulative
@@ -94,19 +101,10 @@ func (p *port) totalQueued() int { return p.queuedPkts }
 // port. Arrivals pop in push order: the upstream transmitter is serialised
 // by its busy flag and the propagation delay is a per-link constant, so
 // arrival times are strictly increasing.
-func (p *port) pushInFlight(pkt *Packet) { p.propQueue = append(p.propQueue, pkt) }
+func (p *port) pushInFlight(pkt *Packet) { p.prop.push(pkt) }
 
 // popInFlight removes the oldest in-flight packet.
-func (p *port) popInFlight() *Packet {
-	pkt := p.propQueue[p.propHead]
-	p.propQueue[p.propHead] = nil
-	p.propHead++
-	if p.propHead == len(p.propQueue) {
-		p.propQueue = p.propQueue[:0]
-		p.propHead = 0
-	}
-	return pkt
-}
+func (p *port) popInFlight() *Packet { return p.prop.pop() }
 
 // arrivalKey is the per-input accounting slot of pkt at this node.
 func arrivalKey(pkt *Packet) int {
@@ -116,51 +114,51 @@ func arrivalKey(pkt *Packet) int {
 	return pkt.arrivalPort
 }
 
-// enqueue appends pkt to the egress for its priority.
-func (p *port) enqueue(pkt *Packet) {
+// enqueue appends pkt to p's egress for its priority.
+func (n *Network) enqueue(p *port, pkt *Packet) {
 	key := arrivalKey(pkt)
 	slot := key
 	if p.sched != SchedVOQ {
 		slot = 0 // FIFO / TX-ring order for every other discipline
 	}
-	v := &p.voqs[pkt.Priority][slot]
-	v.pkts = append(v.pkts, pkt)
+	v := &n.voqs[p.voqBase+pkt.Priority*p.slots+slot]
+	v.q.push(pkt)
 	v.bytes += pkt.Size
-	p.fedBytes[pkt.Priority][key] += pkt.Size
-	p.queuedBytes[pkt.Priority] += pkt.Size
+	n.fedBytes[p.fedBase+pkt.Priority*len(p.owner.ports)+key] += pkt.Size
+	n.queuedBytes[p.cb+pkt.Priority] += pkt.Size
 	p.queuedPkts++
 }
 
 // nextPacket returns (without removing) the next packet of the given
-// priority and its queue slot, or nil: the global head in FIFO mode, the
-// round-robin VOQ head in VOQ mode.
-func (p *port) nextPacket(prio int) (*Packet, int) {
-	vs := p.voqs[prio]
+// priority on p and its queue slot, or nil: the global head in FIFO mode,
+// the round-robin VOQ head in VOQ mode.
+func (n *Network) nextPacket(p *port, prio int) (*Packet, int) {
+	base := p.voqBase + prio*p.slots
 	if p.sched != SchedVOQ {
-		if len(vs[0].pkts) > 0 {
-			return vs[0].pkts[0], 0
+		if v := &n.voqs[base]; !v.q.empty() {
+			return v.q.front(), 0
 		}
 		return nil, -1
 	}
-	for i := 0; i < len(vs); i++ {
-		k := (p.rrVoq[prio] + i) % len(vs)
-		if len(vs[k].pkts) > 0 {
-			return vs[k].pkts[0], k
+	for i := 0; i < p.slots; i++ {
+		k := (int(n.rrVoq[p.cb+prio]) + i) % p.slots
+		if v := &n.voqs[base+k]; !v.q.empty() {
+			return v.q.front(), k
 		}
 	}
 	return nil, -1
 }
 
-// dequeue removes the head of queue slot for prio and advances the cursor.
-func (p *port) dequeue(prio, slot int) *Packet {
-	v := &p.voqs[prio][slot]
-	pkt := v.pkts[0]
-	v.pkts = v.pkts[1:]
+// dequeue removes the head of p's queue slot for prio and advances the
+// round-robin cursor.
+func (n *Network) dequeue(p *port, prio, slot int) *Packet {
+	v := &n.voqs[p.voqBase+prio*p.slots+slot]
+	pkt := v.q.pop()
 	v.bytes -= pkt.Size
-	p.fedBytes[prio][arrivalKey(pkt)] -= pkt.Size
-	p.queuedBytes[prio] -= pkt.Size
+	n.fedBytes[p.fedBase+prio*len(p.owner.ports)+arrivalKey(pkt)] -= pkt.Size
+	n.queuedBytes[p.cb+prio] -= pkt.Size
 	p.queuedPkts--
-	p.rrVoq[prio] = (slot + 1) % len(p.voqs[prio])
+	n.rrVoq[p.cb+prio] = int32((slot + 1) % p.slots)
 	return pkt
 }
 
@@ -169,6 +167,10 @@ type node struct {
 	id    topology.NodeID
 	kind  topology.Kind
 	ports []*port
+	// nb is the node base into the per-(node, priority) forwarding arrays
+	// (Network.fwdCursor/fwdBlocked/forwarding): nb+prio addresses this
+	// node's entry.
+	nb int
 
 	// Host state.
 	flows    []*Flow
@@ -180,9 +182,4 @@ type node struct {
 	// positive, flow pacers are bypassed so the host injects at NIC speed
 	// (a synchronised burst), decremented per released packet.
 	burstBytes units.Size
-
-	// SchedBlocking forwarding state, per priority.
-	fwdCursor  []int
-	fwdBlocked []*port // egress whose full TX ring stalls forwarding
-	forwarding []bool  // re-entrancy guard
 }

@@ -1,0 +1,52 @@
+package netsim
+
+// pktQueue is a head-indexed packet FIFO with a reusable backing array. The
+// naive `q = append(q, pkt)` / `q = q[1:]` FIFO consumes its backing array
+// from the front, so append reallocates roughly once per packet — that
+// pattern was 80%+ of the forwarding path's steady-state allocations. This
+// queue instead advances a head index on pop and, when the array fills while
+// a consumed prefix exists, compacts the live suffix back to the front in
+// place. Steady state (bounded depth) therefore allocates nothing.
+//
+// The zero value is an empty queue, ready to use.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+}
+
+// len reports the number of queued packets.
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+// empty reports whether the queue holds no packets.
+func (q *pktQueue) empty() bool { return len(q.buf) == q.head }
+
+// front returns the head packet without removing it. The queue must not be
+// empty.
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+// push appends pkt at the tail.
+func (q *pktQueue) push(pkt *Packet) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Full, but with dead space before head: compact in place
+		// instead of letting append abandon the array.
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, pkt)
+}
+
+// pop removes and returns the head packet. The queue must not be empty. The
+// vacated slot is cleared so a recycled packet is not pinned by dead queue
+// space.
+func (q *pktQueue) pop() *Packet {
+	pkt := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return pkt
+}

@@ -48,7 +48,7 @@ func (n *Network) refill(h *node) {
 			}
 		}
 		f.released += size
-		pkt := newPacket()
+		pkt := n.newPacket()
 		pkt.Flow, pkt.Seq, pkt.Size, pkt.Priority = f, f.seq, size, f.Priority
 		pkt.Path = f.Path
 		pkt.arrivalPort = -1
@@ -57,7 +57,7 @@ func (n *Network) refill(h *node) {
 			pkt.Last = true
 			f.active = false
 		}
-		p.enqueue(pkt)
+		n.enqueue(p, pkt)
 	}
 	n.kick(p)
 }
@@ -114,7 +114,7 @@ func (n *Network) kick(p *port) {
 	now := n.eng.Now()
 	minWake := units.Never
 	inputQueued := p.sched == SchedInputQueued && p.owner.kind == topology.Switch
-	k := len(p.voqs)
+	k := n.cfg.Priorities
 	for _, prio := range n.prioOrder(p) {
 		var pkt *Packet
 		var freed *port // input whose FIFO head we consumed
@@ -126,22 +126,22 @@ func (n *Network) kick(p *port) {
 				}
 				continue
 			}
-			in.inq[prio] = in.inq[prio][1:]
-			p.rrVoq[prio] = (in.local + 1) % len(p.owner.ports)
+			n.inq[in.cb+prio].pop()
+			n.rrVoq[p.cb+prio] = int32((in.local + 1) % len(p.owner.ports))
 			pkt, freed = head, in
 		} else {
-			head, slot := p.nextPacket(prio)
+			head, slot := n.nextPacket(p, prio)
 			if head == nil {
 				continue
 			}
-			ok, wake := p.senders[prio].TrySend(head.Size)
+			ok, wake := n.senders[p.cb+prio].TrySend(head.Size)
 			if !ok {
 				if wake < minWake {
 					minWake = wake
 				}
 				continue
 			}
-			pkt = p.dequeue(prio, slot)
+			pkt = n.dequeue(p, prio, slot)
 			if p.sched == SchedBlocking && p.owner.kind == topology.Switch {
 				// TX-ring space freed: resume a stalled
 				// forwarding core (no-op when not stalled or
@@ -159,8 +159,9 @@ func (n *Network) kick(p *port) {
 		n.eng.After(dur, p.txDoneFn)
 		if freed != nil {
 			// The freed input's new head may target an idle egress.
-			if q := freed.inq[prio]; len(q) > 0 {
-				n.kick(p.owner.ports[q[0].Path[q[0].hop].Port])
+			if q := &n.inq[freed.cb+prio]; !q.empty() {
+				head := q.front()
+				n.kick(p.owner.ports[head.Path[head.hop].Port])
 			}
 		}
 		return
@@ -190,23 +191,24 @@ func (n *Network) scheduleKick(p *port, at units.Time) {
 // behaviour of a software switch retrying a full TX ring, and the coupling
 // that lets one paused port freeze a switch.
 func (n *Network) forward(nd *node, prio int) {
-	if nd.forwarding[prio] {
+	fi := nd.nb + prio
+	if n.forwarding[fi] {
 		return
 	}
-	nd.forwarding[prio] = true
-	defer func() { nd.forwarding[prio] = false }()
+	n.forwarding[fi] = true
+	defer func() { n.forwarding[fi] = false }()
 	for {
-		if b := nd.fwdBlocked[prio]; b != nil {
+		if b := n.fwdBlocked[fi]; b != nil {
 			// Still stalled: re-check the blocking ring.
-			if len(b.voqs[prio][0].pkts) >= n.cfg.TxRing {
+			if n.voqs[b.voqBase+prio*b.slots].q.len() >= n.cfg.TxRing {
 				return
 			}
-			nd.fwdBlocked[prio] = nil
+			n.fwdBlocked[fi] = nil
 		}
 		var in *port
 		for j := 0; j < len(nd.ports); j++ {
-			c := nd.ports[(nd.fwdCursor[prio]+j)%len(nd.ports)]
-			if len(c.inq[prio]) > 0 {
+			c := nd.ports[(int(n.fwdCursor[fi])+j)%len(nd.ports)]
+			if !n.inq[c.cb+prio].empty() {
 				in = c
 				break
 			}
@@ -214,15 +216,15 @@ func (n *Network) forward(nd *node, prio int) {
 		if in == nil {
 			return
 		}
-		head := in.inq[prio][0]
+		head := n.inq[in.cb+prio].front()
 		out := nd.ports[head.Path[head.hop].Port]
-		if len(out.voqs[prio][0].pkts) >= n.cfg.TxRing {
-			nd.fwdBlocked[prio] = out // stall switch-wide
+		if n.voqs[out.voqBase+prio*out.slots].q.len() >= n.cfg.TxRing {
+			n.fwdBlocked[fi] = out // stall switch-wide
 			return
 		}
-		in.inq[prio] = in.inq[prio][1:]
-		nd.fwdCursor[prio] = (in.local + 1) % len(nd.ports)
-		out.enqueue(head)
+		n.inq[in.cb+prio].pop()
+		n.fwdCursor[fi] = int32((in.local + 1) % len(nd.ports))
+		n.enqueue(out, head)
 		n.kick(out)
 	}
 }
@@ -233,13 +235,16 @@ func (n *Network) forward(nd *node, prio int) {
 // work-conserving second phase: classes holding WRR credit are offered
 // first (cheapest classes refilled when all credits drain), then the rest,
 // so a weighted class can never be starved but spare capacity is never
-// wasted.
+// wasted. The returned slice is p's reusable scratch buffer: valid until
+// the next prioOrder call for p, which is safe because kick finishes with
+// the order before any nested kick can touch a *different* port's scratch,
+// and a nested kick of p itself bails on the busy flag first.
 func (n *Network) prioOrder(p *port) []int {
-	k := len(p.voqs)
+	k := n.cfg.Priorities
 	if k == 1 {
 		return oneZero
 	}
-	order := make([]int, 0, k)
+	order := p.prioScratch[:0]
 	if n.cfg.PriorityWeights == nil {
 		for i := 0; i < k; i++ {
 			order = append(order, (p.rr+i)%k)
@@ -280,16 +285,16 @@ func (n *Network) nextFromInputs(p *port, prio int) (*Packet, *port, units.Time)
 	ports := p.owner.ports
 	minWake := units.Never
 	for j := 0; j < len(ports); j++ {
-		in := ports[(p.rrVoq[prio]+j)%len(ports)]
-		q := in.inq[prio]
-		if len(q) == 0 {
+		in := ports[(int(n.rrVoq[p.cb+prio])+j)%len(ports)]
+		q := &n.inq[in.cb+prio]
+		if q.empty() {
 			continue
 		}
-		head := q[0]
+		head := q.front()
 		if head.Path[head.hop].Port != p.local {
 			continue // head-of-line: only the head is eligible
 		}
-		ok, wake := p.senders[prio].TrySend(head.Size)
+		ok, wake := n.senders[p.cb+prio].TrySend(head.Size)
 		if !ok {
 			// Flow control gates the whole egress for this
 			// priority; no other input can do better.

@@ -152,6 +152,7 @@ func Build(spec Spec, ov *Overrides) (*Sim, error) {
 		}
 		gen := workload.NewGenerator(net, tab, dist, workload.EdgeRacks(topo), seed)
 		gen.FlowsPerHost = g.FlowsPerHost
+		gen.Think = g.ThinkNs
 		gen.Priority = g.Priority
 		if err := gen.Start(); err != nil {
 			return nil, err

@@ -34,6 +34,32 @@ func clos128(fc FC) Spec {
 	}
 }
 
+// clos1024 returns the frontier-scale scenario: a k=16 fat-tree (1024 hosts,
+// 320 switches, 3072 links) under the same enterprise workload as clos128.
+// At this scale a runaway run is expensive, so the spec declares its own
+// governor Limits: the event cap is ~4× a healthy full-duration run
+// (measured ~3.5M events over the 1 ms horizon on every scheme), the stall
+// window is far past any legitimate quiet period, and the wall cap keeps a
+// wedged CI job bounded. Only governed runs (RunBounded / gfcsim -budget
+// paths) enforce them.
+func clos1024(fc FC) Spec {
+	return Spec{
+		Name:        "clos1024-" + schemeSlug(fc),
+		Description: "k=16 fat-tree (1024 hosts), enterprise inter-rack workload, " + string(fc),
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "fat-tree", K: 16},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise"}},
+		Scheme:      SchemeSpec{FC: fc, Preset: "sim"},
+		Run:         RunSpec{DurationNs: units.Millisecond, DetectDeadlock: true},
+		Limits: &LimitsSpec{
+			MaxEvents:   15_000_000,
+			MaxWallMs:   120_000,
+			StallEvents: 2_000_000,
+		},
+	}
+}
+
 // schemeSlug is the lower-case registry suffix for a scheme.
 func schemeSlug(fc FC) string {
 	switch fc {
@@ -144,5 +170,12 @@ func init() {
 	})
 	for _, fc := range AllFCs() {
 		Register(clos128(fc))
+	}
+	// The k=16 tier registers only the paper's headline schemes: PFC (the
+	// deadlock-prone baseline) and both deployable GFC designs. CBFC and
+	// conceptual GFC add nothing at this scale that clos128 doesn't show,
+	// and each registered variant is a multi-minute full run.
+	for _, fc := range []FC{PFC, GFCBuf, GFCTime} {
+		Register(clos1024(fc))
 	}
 }

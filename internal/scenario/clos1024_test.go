@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// updateClos rewrites testdata/clos1024_hashes.json with the hashes of the
+// current build:
+//
+//	go test ./internal/scenario -run TestClos1024Golden -update-clos
+//
+// Only do this for an intended behaviour change; like the experiments
+// goldens, these exist to catch silent drift in the simulation core — now at
+// the k=16 scale where a reordered event is most likely to hide.
+var updateClos = flag.Bool("update-clos", false, "rewrite clos1024 golden hashes")
+
+const clos1024GoldenPath = "testdata/clos1024_hashes.json"
+
+// clos1024Schemes mirrors the registration list in builtin.go.
+var clos1024Schemes = []FC{PFC, GFCBuf, GFCTime}
+
+// clos1024GoldenDuration is the pinned horizon for the golden-hash gate:
+// long enough to cover thousands of flow completions and the full flow-start
+// transient, short enough (~1s/scheme) to run on every CI invocation.
+const clos1024GoldenDuration = 200 * units.Microsecond
+
+// runClos1024 builds and runs one clos1024 scheme for the given horizon
+// under the spec's own governor limits, failing the test if the governor
+// trips.
+func runClos1024(t *testing.T, fc FC, d units.Time) (*Sim, *Result) {
+	t.Helper()
+	spec, ok := Get("clos1024-" + schemeSlug(fc))
+	if !ok {
+		t.Fatalf("clos1024 scenario for %s not registered", fc)
+	}
+	spec.Run.DurationNs = d
+	reg := metrics.New(metrics.Options{})
+	sim, err := Build(spec, &Overrides{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sim.Topo.Hosts()); got != 1024 {
+		t.Fatalf("clos1024 has %d hosts, want 1024", got)
+	}
+	res, err := sim.RunBounded(context.Background(), netsim.Budget{})
+	if err != nil {
+		t.Fatalf("governor tripped inside the scenario's own limits: %v", err)
+	}
+	return sim, res
+}
+
+// TestClos1024Smoke is the frontier-scale CI smoke test: the k=16 fat-tree
+// (1024 hosts, 320 switches) under the enterprise workload, once per
+// registered scheme, governed by the scenario's declared Limits. In -short
+// mode (the dedicated CI step) the horizon shrinks to the golden duration;
+// a full run covers the catalogue's 1 ms.
+func TestClos1024Smoke(t *testing.T) {
+	d := units.Millisecond
+	if testing.Short() {
+		d = clos1024GoldenDuration
+	}
+	if raceEnabled {
+		// ~10× slower and ~3.5M events per full run: keep the race CI
+		// step affordable without losing the build/run coverage.
+		d = 50 * units.Microsecond
+	}
+	for _, fc := range clos1024Schemes {
+		fc := fc
+		t.Run(string(fc), func(t *testing.T) {
+			_, res := runClos1024(t, fc, d)
+			if res.End < d {
+				t.Fatalf("run ended at %v, want %v", res.End, d)
+			}
+			if res.Delivered == 0 {
+				t.Fatal("no traffic delivered")
+			}
+			t.Logf("%s: delivered %v, drops %d, violations %d, deadlocked %v",
+				fc, res.Delivered, res.Drops, res.Violations, res.Deadlocked)
+			if res.Drops != 0 {
+				t.Errorf("%s: %d drops on a lossless fabric", fc, res.Drops)
+			}
+			if fc.IsGFC() {
+				if res.Violations != 0 {
+					t.Errorf("%s: %d invariant violations on the healthy Clos; want 0", fc, res.Violations)
+				}
+				if res.Deadlocked {
+					t.Errorf("%s deadlocked on a healthy fat-tree", fc)
+				}
+			}
+		})
+	}
+}
+
+// TestClos1024Golden pins an FNV-1a hash of each clos1024 scheme's run
+// verdict at a fixed 200 µs horizon: end time, events fired, bytes
+// delivered, drops and the deadlock verdict. Any event reordering at k=16
+// scale — a heap tie broken differently, a batched arrival admitted out of
+// order — shifts the fired-event count or delivered bytes and fails here.
+func TestClos1024Golden(t *testing.T) {
+	if raceEnabled {
+		t.Skip("hashes are identical under race; skip the ~10× slower duplicate")
+	}
+	want := map[string]string{}
+	if data, err := os.ReadFile(clos1024GoldenPath); err == nil {
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("parsing %s: %v", clos1024GoldenPath, err)
+		}
+	} else if !*updateClos {
+		t.Fatalf("reading %s: %v (run with -update-clos to create)", clos1024GoldenPath, err)
+	}
+	got := map[string]string{}
+	for _, fc := range clos1024Schemes {
+		fc := fc
+		t.Run(string(fc), func(t *testing.T) {
+			sim, res := runClos1024(t, fc, clos1024GoldenDuration)
+			h := fnv.New64a()
+			var buf [8]byte
+			for _, v := range []uint64{
+				uint64(res.End),
+				sim.Net.Engine().Fired(),
+				uint64(res.Delivered),
+				uint64(res.Drops),
+				uint64(boolBit(res.Deadlocked)),
+				uint64(res.DeadlockAt),
+			} {
+				for i := range buf {
+					buf[i] = byte(v >> (8 * i))
+				}
+				h.Write(buf[:])
+			}
+			name := "clos1024-" + schemeSlug(fc)
+			sum := fmt.Sprintf("%016x", h.Sum64())
+			got[name] = sum
+			if *updateClos {
+				t.Logf("%s: %s", name, sum)
+				return
+			}
+			if want[name] != sum {
+				t.Errorf("%s: hash %s, golden %s — k=16 run drifted; if intended, rerun with -update-clos",
+					name, sum, want[name])
+			}
+		})
+	}
+	if *updateClos {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(clos1024GoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

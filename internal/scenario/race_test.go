@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector is active; its ~10×
+// slowdown makes the full-duration clos1024 runs unaffordable, so those
+// tests shrink or skip.
+const raceEnabled = true

@@ -131,6 +131,10 @@ type GeneratorSpec struct {
 	UniformBytes units.Size `json:"uniform_bytes,omitempty"`
 	// FlowsPerHost is the per-host concurrency; <= 0 means 1.
 	FlowsPerHost int `json:"flows_per_host,omitempty"`
+	// ThinkNs is the idle gap between a host's flow finishing and its
+	// successor launching; 0 chains back-to-back (the paper's workload).
+	// A positive value turns the saturating workload into flow churn.
+	ThinkNs units.Time `json:"think_ns,omitempty"`
 	// Seed seeds the generator's private source; 0 uses Spec.Seed.
 	Seed     int64 `json:"seed,omitempty"`
 	Priority int   `json:"priority,omitempty"`
@@ -338,6 +342,31 @@ func (t *TopologySpec) n() int {
 	return t.N
 }
 
+// HostCount reports how many hosts the topology will have, without building
+// it — what catalogue listings show so a user can judge a scenario's scale
+// before running it. Unknown builders report 0 (validation rejects them
+// anyway).
+func (t *TopologySpec) HostCount() int {
+	switch t.Builder {
+	case "ring":
+		h := t.HostsPerSwitch
+		if h == 0 {
+			h = 1
+		}
+		return t.n() * h
+	case "fat-tree":
+		return t.K * t.K * t.K / 4
+	case "dumbbell":
+		return t.N + 1 // n senders plus the one receiver
+	case "linear":
+		return t.N // one host per switch
+	case "two-to-one":
+		return 3
+	default:
+		return 0
+	}
+}
+
 func (r *RoutingSpec) validate() error {
 	switch r.Policy {
 	case "", "auto", "spf", "none":
@@ -399,6 +428,9 @@ func (w *WorkloadSpec) validate() error {
 			}
 		default:
 			return fmt.Errorf("scenario: workload: unknown generator dist %q", g.Dist)
+		}
+		if g.ThinkNs < 0 {
+			return fmt.Errorf("scenario: workload: negative generator think_ns %d", g.ThinkNs)
 		}
 	}
 	return nil

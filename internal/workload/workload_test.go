@@ -154,6 +154,46 @@ func TestGeneratorDrivesTraffic(t *testing.T) {
 	}
 }
 
+func TestGeneratorThinkTime(t *testing.T) {
+	// The churn knob: with a think gap longer than the run, a successor
+	// is scheduled but never starts, so only the initial per-host flows
+	// can complete; with Think 0 the same seed chains completions well
+	// past the host count.
+	run := func(think units.Time) (flows int, completed int) {
+		topo := topology.FatTree(4, topology.DefaultLinkParams())
+		net, err := netsim.New(topo, netsim.Config{
+			BufferSize:  300 * units.KB,
+			FlowControl: flowcontrol.NewPFCDefault(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := routing.NewSPF(topo)
+		g := NewGenerator(net, tab, Enterprise(), EdgeRacks(topo), 42)
+		g.Think = think
+		if err := g.Start(); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(2 * units.Millisecond)
+		return len(net.Flows()), len(g.Completed)
+	}
+	hosts := len(topology.FatTree(4, topology.DefaultLinkParams()).Hosts())
+	chained, completedChained := run(0)
+	churned, completedChurned := run(units.Second)
+	if completedChained == 0 || completedChurned == 0 {
+		t.Fatalf("no completions (chained %d, churned %d)", completedChained, completedChurned)
+	}
+	if completedChurned > hosts {
+		t.Errorf("with a run-length think gap, %d completions exceed the %d initial flows", completedChurned, hosts)
+	}
+	if completedChained <= completedChurned {
+		t.Errorf("think 0 completed %d flows, not more than the churned run's %d", completedChained, completedChurned)
+	}
+	if chained <= churned {
+		t.Errorf("think 0 launched %d flows, not more than the churned run's %d", chained, churned)
+	}
+}
+
 func TestGeneratorDeterminism(t *testing.T) {
 	run := func() (int, units.Size) {
 		topo := topology.FatTree(4, topology.DefaultLinkParams())
