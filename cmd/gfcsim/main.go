@@ -190,7 +190,8 @@ func runScenario() error {
 	} else {
 		s, ok := scenario.Get(*scenarioName)
 		if !ok {
-			return fmt.Errorf("unknown scenario %q (try -list, or pass a .json file)", *scenarioName)
+			return fmt.Errorf("unknown scenario %q (pass a .json file, or one of: %s)",
+				*scenarioName, strings.Join(scenario.Names(), ", "))
 		}
 		spec = s
 	}
@@ -384,8 +385,9 @@ func runFaultMatrix() error {
 	}
 	fmt.Println("Fault matrix: scheme × scenario on the critically loaded fig9 ring")
 	fmt.Print(experiments.FaultMatrixRows(cells).String())
-	fmt.Println("(resume-loss wedges PFC shut — one lost RESUME is a permanent pause — while both GFC")
-	fmt.Println(" variants keep every flow progressing, lossless, under every scenario)")
+	fmt.Println("(resume-loss wedges the on/off schemes shut — one lost RESUME/QRESUME is a permanent")
+	fmt.Println(" pause for PFC and BFC alike — while both GFC variants keep every flow progressing,")
+	fmt.Println(" lossless, under every scenario; DCFIT convicts only where pause edges close a cycle)")
 	return nil
 }
 

@@ -1,8 +1,29 @@
 package main
 
 import (
+	"strings"
 	"testing"
+
+	"github.com/gfcsim/gfc/internal/scenario"
 )
+
+// TestUnknownScenarioListsNames pins the -scenario error UX: a typo'd name
+// must come back with the full registry so the user can pick without a
+// second -list invocation.
+func TestUnknownScenarioListsNames(t *testing.T) {
+	old := *scenarioName
+	defer func() { *scenarioName = old }()
+	*scenarioName = "definitely-not-registered"
+	err := runScenario()
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
+	}
+}
 
 func TestSplitComma(t *testing.T) {
 	cases := []struct {

@@ -19,6 +19,12 @@ func FaultScenarios() []string {
 	return append([]string{CleanScenario}, faults.PresetNames()...)
 }
 
+// MatrixSchemes lists the default fault-matrix rows: the paper's four
+// schemes plus BFC, the per-flow-queue challenger raced against them.
+func MatrixSchemes() []FC {
+	return append(AllFCs(), BFC)
+}
+
 // FaultCell is one (scheme, scenario) cell of the fault matrix: the §6.1
 // ring run under an injected fault scenario, with the deadlock verdict,
 // invariant outcome and progress measures the robustness comparison needs.
@@ -29,8 +35,17 @@ type FaultCell struct {
 	Deadlocked   bool
 	DeadlockAt   units.Time
 	DeadlockKind deadlock.Kind
-	Drops        int64
-	Violations   int64
+	// DCFITDeadlocked / DCFITAt report the in-data-plane detector, which
+	// runs alongside the global one in every cell. It only sees pause
+	// edges, so it stays silent for CBFC/GFC by design. A wedge is not
+	// itself a cycle, but when its backpressure cascades class pauses all
+	// the way around the ring (PFC under resume-loss) the edges do close
+	// and DCFIT convicts; BFC's queue-scoped wedge never closes one, so
+	// that cell stays silent — the disagreements are the comparison.
+	DCFITDeadlocked bool
+	DCFITAt         units.Time
+	Drops           int64
+	Violations      int64
 
 	// FaultsInjected counts actuated timeline events plus feedback
 	// perturbations; FeedbackDropped/Delayed break out the message-level
@@ -67,13 +82,15 @@ type FaultMatrixConfig struct {
 
 // RunFaultMatrix runs the scheme × scenario robustness matrix on the fig9
 // ring. The headline contrast: "resume-loss" permanently pauses a hop the
-// moment one RESUME frame is lost, so PFC deadlocks (the detector fires)
-// while both GFC variants — whose rates never reach zero — keep every flow
-// progressing under every scenario with no losses and no invariant
-// violations.
+// moment one RESUME frame is lost, so PFC — and BFC, whose per-queue
+// QRESUME is just as losable — wedge shut (the detector fires) while both
+// GFC variants, whose rates never reach zero, keep every flow progressing
+// under every scenario with no losses and no invariant violations. Every
+// cell also runs the in-data-plane DCFIT detector alongside the global one;
+// its columns expose what delivery-time pause tracking can and cannot see.
 func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 	if cfg.Schemes == nil {
-		cfg.Schemes = AllFCs()
+		cfg.Schemes = MatrixSchemes()
 	}
 	if cfg.Scenarios == nil {
 		cfg.Scenarios = FaultScenarios()
@@ -114,6 +131,9 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 				Metrics:        reg,
 				Faults:         plan,
 				FaultSeed:      cfg.Seed,
+				// Both detectors report in every cell; the global
+				// verdict is the row's, DCFIT's fills its own columns.
+				Detector: "both",
 			}
 			if fc == GFCBuf && plan != nil {
 				ring.Refresh = cfg.Refresh
@@ -125,8 +145,10 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 			cell := FaultCell{
 				FC: fc, Scenario: scenario,
 				Deadlocked: res.Deadlocked, DeadlockAt: res.DeadlockAt,
-				DeadlockKind: res.DeadlockKind,
-				Drops:        res.Drops,
+				DeadlockKind:    res.DeadlockKind,
+				DCFITDeadlocked: res.DCFITDeadlocked,
+				DCFITAt:         res.DCFITAt,
+				Drops:           res.Drops,
 				Violations:   reg.Summary().Violations,
 				Delivered:    res.Delivered, MinFlow: res.MinFlow,
 				SteadyRate: res.SteadyRate,
@@ -144,7 +166,7 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 // (scheme, scenario) cell.
 func FaultMatrixRows(cells []FaultCell) *stats.Table {
 	t := &stats.Table{Header: []string{
-		"Scheme", "Scenario", "Deadlock", "Drops", "Violations",
+		"Scheme", "Scenario", "Deadlock", "DCFIT", "Drops", "Violations",
 		"Faults", "Min flow", "Steady rate",
 	}}
 	for _, c := range cells {
@@ -152,7 +174,11 @@ func FaultMatrixRows(cells []FaultCell) *stats.Table {
 		if c.Deadlocked {
 			verdict = fmt.Sprintf("%v at %v", c.DeadlockKind, c.DeadlockAt)
 		}
-		t.AddRow(string(c.FC), c.Scenario, verdict,
+		dcfit := "silent"
+		if c.DCFITDeadlocked {
+			dcfit = fmt.Sprintf("at %v", c.DCFITAt)
+		}
+		t.AddRow(string(c.FC), c.Scenario, verdict, dcfit,
 			fmt.Sprintf("%d", c.Drops),
 			fmt.Sprintf("%d", c.Violations),
 			fmt.Sprintf("%d", c.FaultsInjected),

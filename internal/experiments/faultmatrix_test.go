@@ -18,18 +18,24 @@ import (
 //     wedged channel, not a circular wait;
 //   - "feedback-loss" breaks PFC's losslessness (lost PAUSE frames overrun
 //     the ingress buffers; the invariant layer attributes the violations);
+//   - BFC shares PFC's on/off failure modes at queue granularity: a lost
+//     QRESUME wedges it, lost QPAUSEs overrun it — per-queue state narrows
+//     the blast radius but does not change the robustness class;
 //   - both GFC variants survive every scenario with zero drops, zero
 //     violations, no deadlock, and every flow making progress — their rates
-//     never reach zero, so no single lost message can wedge them.
+//     never reach zero, so no single lost message can wedge them;
+//   - the DCFIT column convicts exactly where pause edges close a cycle
+//     (PFC resume-loss, where the wedge cascades class pauses around the
+//     ring) and stays silent everywhere else.
 func TestFaultMatrixHeadline(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 4×6 fault matrix (~2 s)")
+		t.Skip("full 5×6 fault matrix (~3 s)")
 	}
 	cells, err := RunFaultMatrix(FaultMatrixConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(AllFCs()) * len(FaultScenarios()); len(cells) != want {
+	if want := len(MatrixSchemes()) * len(FaultScenarios()); len(cells) != want {
 		t.Fatalf("got %d cells, want %d", len(cells), want)
 	}
 
@@ -47,7 +53,7 @@ func TestFaultMatrixHeadline(t *testing.T) {
 
 	// Clean column: every scheme is healthy, so any trouble in a faulted
 	// column is attributable to the injected scenario.
-	for _, fc := range AllFCs() {
+	for _, fc := range MatrixSchemes() {
 		c := cell(fc, CleanScenario)
 		if c.Deadlocked || c.Drops != 0 || c.Violations != 0 {
 			t.Errorf("clean %s not clean: %+v", fc, c)
@@ -86,6 +92,27 @@ func TestFaultMatrixHeadline(t *testing.T) {
 		t.Error("PFC drops not flagged as invariant violations")
 	}
 
+	// BFC shares PFC's failure modes, per queue: a lost QRESUME wedges the
+	// ring shut (losslessly), lost QPAUSEs overrun the ingress.
+	brl := cell(BFC, "resume-loss")
+	if !brl.Deadlocked {
+		t.Fatal("BFC under resume-loss did not wedge")
+	}
+	if brl.DeadlockKind != deadlock.WedgedChannel {
+		t.Errorf("BFC resume-loss deadlock kind = %v, want wedged-channel", brl.DeadlockKind)
+	}
+	if brl.Drops != 0 {
+		t.Errorf("BFC resume-loss drops = %d; a wedged fabric must stay lossless", brl.Drops)
+	}
+	if brl.SteadyRate != 0 {
+		t.Errorf("BFC resume-loss steady rate = %v, want 0 (ring frozen)", brl.SteadyRate)
+	}
+	bfl := cell(BFC, "feedback-loss")
+	if bfl.Drops == 0 || bfl.Violations == 0 {
+		t.Errorf("BFC under feedback-loss: drops=%d violations=%d, want QPAUSE loss to overrun",
+			bfl.Drops, bfl.Violations)
+	}
+
 	// The GFC survival claim, across every scenario including the two that
 	// break PFC: no deadlock, strictly lossless, every flow progressing.
 	for _, fc := range []FC{GFCBuf, GFCTime} {
@@ -111,6 +138,21 @@ func TestFaultMatrixHeadline(t *testing.T) {
 	}
 	if c := cell(GFCTime, "feedback-delay"); c.FeedbackDelayed == 0 {
 		t.Error("GFC-time under feedback-delay delayed nothing")
+	}
+
+	// DCFIT verdicts per cell: only pause-edge cycles are visible to it. The
+	// PFC resume-loss wedge cascades class pauses around the whole ring, so
+	// the edges close and DCFIT convicts; BFC's wedge is queue-scoped and
+	// never closes a cycle, and CBFC/GFC emit no pause edges at all.
+	for _, c := range cells {
+		wantConvict := c.FC == PFC && c.Scenario == "resume-loss"
+		if c.DCFITDeadlocked != wantConvict {
+			t.Errorf("DCFIT verdict for (%s, %s) = %v, want %v",
+				c.FC, c.Scenario, c.DCFITDeadlocked, wantConvict)
+		}
+	}
+	if c := cell(PFC, "resume-loss"); c.DCFITDeadlocked && c.DCFITAt < c.DeadlockAt-10*units.Millisecond {
+		t.Errorf("DCFIT onset %v implausibly early vs global %v", c.DCFITAt, c.DeadlockAt)
 	}
 }
 
@@ -157,5 +199,8 @@ func TestFaultMatrixRows(t *testing.T) {
 	}
 	if got := tab.Rows[0][2]; got != "wedged-channel at 10ms" {
 		t.Errorf("verdict cell = %q", got)
+	}
+	if got := tab.Rows[0][3]; got != "silent" {
+		t.Errorf("DCFIT cell = %q, want silent", got)
 	}
 }

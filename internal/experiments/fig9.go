@@ -20,7 +20,11 @@ type RingResult struct {
 	// DeadlockKind distinguishes a circular wait from a fault-wedged
 	// channel (meaningful only when Deadlocked).
 	DeadlockKind deadlock.Kind
-	Queue        *stats.Series // ingress S1←H1 occupancy
+	// DCFITDeadlocked / DCFITAt report the in-data-plane detector's
+	// verdict when RingConfig.Detector installed it ("dcfit" or "both").
+	DCFITDeadlocked bool
+	DCFITAt         units.Time
+	Queue           *stats.Series // ingress S1←H1 occupancy
 	Rate         *stats.Series // H1's achieved input rate, 100 µs bins
 	// SteadyQueue / SteadyRate average the final quarter of the run
 	// (≈840 KB / 5 Gb/s for buffer-based GFC in the paper's testbed,
@@ -67,6 +71,9 @@ type RingConfig struct {
 	// this run (loss repair under faulted feedback); zero keeps the
 	// edge-triggered default and the clean-run traces.
 	Refresh units.Time
+	// Detector selects the deadlock detector(s), as in
+	// scenario.RunSpec.Detector: "" or "global", "dcfit", or "both".
+	Detector string
 }
 
 // RingTopology builds the topology RunRing simulates, so fault plans can be
@@ -97,7 +104,7 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 			Params: scenario.FCParams{Refresh: cfg.Refresh},
 		},
 		Sim: scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
-		Run: scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+		Run: scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true, Detector: cfg.Detector},
 	}
 	if cfg.Tau > 0 {
 		// Tau ablation: re-derive the GFC thresholds for the new τ so
@@ -157,10 +164,26 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 	if sim.Injector != nil {
 		res.FaultStats = sim.Injector.Stats()
 	}
-	if rep := sim.Detector.Deadlocked(); rep != nil {
-		res.Deadlocked = true
-		res.DeadlockAt = rep.At
-		res.DeadlockKind = rep.Kind
+	switch {
+	case sim.Detector != nil:
+		if rep := sim.Detector.Deadlocked(); rep != nil {
+			res.Deadlocked = true
+			res.DeadlockAt = rep.At
+			res.DeadlockKind = rep.Kind
+		}
+	case sim.DCFIT != nil:
+		// Detector "dcfit" alone: its verdict is the run's verdict.
+		if rep := sim.DCFIT.Deadlocked(); rep != nil {
+			res.Deadlocked = true
+			res.DeadlockAt = rep.At
+			res.DeadlockKind = rep.Kind
+		}
+	}
+	if sim.DCFIT != nil {
+		if rep := sim.DCFIT.Deadlocked(); rep != nil {
+			res.DCFITDeadlocked = true
+			res.DCFITAt = rep.At
+		}
 	}
 	return res, nil
 }

@@ -71,6 +71,19 @@ func (g *hasher) ring(res *RingResult) {
 	g.mix(uint64(res.FaultStats.FeedbackDropped), uint64(res.FaultStats.FeedbackDelayed))
 }
 
+func (g *hasher) cell(c FaultCell) {
+	g.mix(uint64(c.DeadlockAt), uint64(c.DeadlockKind), uint64(c.DCFITAt))
+	if c.Deadlocked {
+		g.mix(1)
+	}
+	if c.DCFITDeadlocked {
+		g.mix(2)
+	}
+	g.mix(uint64(c.Drops), uint64(c.Violations), uint64(c.FaultsInjected),
+		uint64(c.FeedbackDropped), uint64(c.FeedbackDelayed))
+	g.mix(uint64(c.Delivered), uint64(c.MinFlow), uint64(c.SteadyRate))
+}
+
 // goldenRuns maps each golden name to the run it hashes. Durations are
 // trimmed for CI; what matters is that every subsystem on the hashed path —
 // engine ordering, flow control, scheduling, fault injection — reproduces
@@ -149,6 +162,25 @@ var goldenRuns = map[string]func(t *testing.T) uint64{
 	},
 	"table1-sweep-pfc": func(t *testing.T) uint64 {
 		return sweepHash(t, 4)
+	},
+	"faultmatrix-race": func(t *testing.T) uint64 {
+		// The scheme-race slice of the fault matrix: the on/off schemes
+		// (PFC and BFC) under the two fault presets that break them, with
+		// both detectors' verdicts folded into the hash — pins BFC's
+		// per-queue pause plumbing and DCFIT's edge tracking end to end.
+		cells, err := RunFaultMatrix(FaultMatrixConfig{
+			Schemes:   []FC{PFC, BFC},
+			Scenarios: []string{"resume-loss", "feedback-loss"},
+			Duration:  30 * units.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newHasher()
+		for _, c := range cells {
+			g.cell(c)
+		}
+		return g.sum()
 	},
 }
 

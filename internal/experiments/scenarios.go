@@ -23,13 +23,15 @@ type (
 )
 
 // The four schemes of the paper's comparison, plus the conceptual design of
-// §4.1 (continuous feedback; used by the Figure 5 illustration only).
+// §4.1 (continuous feedback; used by the Figure 5 illustration only) and BFC
+// (the fault-matrix challenger).
 const (
 	PFC           = scenario.PFC
 	CBFC          = scenario.CBFC
 	GFCBuf        = scenario.GFCBuf
 	GFCTime       = scenario.GFCTime
 	GFCConceptual = scenario.GFCConceptual
+	BFC           = scenario.BFC
 )
 
 // AllFCs lists the four schemes in the paper's presentation order.

@@ -227,26 +227,26 @@ func (s *Spec) Validate() error {
 }
 
 // kindMask converts kind names to a bitmask over flowcontrol.Kind; zero
-// means "all kinds".
+// means "all kinds". "PAUSE" and "RESUME" cover both the class-scoped PFC
+// frames and BFC's queue-scoped QPAUSE/QRESUME — a queue resume IS a
+// resume, so the fault presets written against PFC bite BFC identically.
 func kindMask(names []string) (uint32, error) {
 	var mask uint32
 	for _, name := range names {
-		var k flowcontrol.Kind
 		switch strings.ToUpper(name) {
 		case "PAUSE":
-			k = flowcontrol.KindPause
+			mask |= 1<<uint(flowcontrol.KindPause) | 1<<uint(flowcontrol.KindQueuePause)
 		case "RESUME":
-			k = flowcontrol.KindResume
+			mask |= 1<<uint(flowcontrol.KindResume) | 1<<uint(flowcontrol.KindQueueResume)
 		case "STAGE":
-			k = flowcontrol.KindStage
+			mask |= 1 << uint(flowcontrol.KindStage)
 		case "CREDIT":
-			k = flowcontrol.KindCredit
+			mask |= 1 << uint(flowcontrol.KindCredit)
 		case "QUEUE":
-			k = flowcontrol.KindQueue
+			mask |= 1 << uint(flowcontrol.KindQueue)
 		default:
 			return 0, fmt.Errorf("unknown message kind %q", name)
 		}
-		mask |= 1 << uint(k)
 	}
 	return mask, nil
 }

@@ -11,8 +11,14 @@ import (
 const CreditBlock = 64 * units.Byte
 
 // Blocks reports the number of credit blocks a packet of size s consumes
-// (rounded up).
+// (rounded up). Every packet consumes at least one block: a header-only
+// (zero-payload) packet still occupies buffer and wire, and charging it
+// nothing would let a sender transmit unbounded zero-size packets with no
+// credit.
 func Blocks(s units.Size) int64 {
+	if s <= 0 {
+		return 1
+	}
 	return int64((s + CreditBlock - 1) / CreditBlock)
 }
 

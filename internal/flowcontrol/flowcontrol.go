@@ -36,6 +36,13 @@ const (
 	// KindQueue carries an instantaneous queue length; used by the
 	// conceptual design (§4.1), which assumes continuous feedback.
 	KindQueue
+	// KindQueuePause / KindQueueResume are BFC's per-queue pause frames
+	// (Goyal et al.): like PFC PAUSE/RESUME but scoped to one physical
+	// queue (Message.QueueID) instead of a whole priority class. Appended
+	// after the original kinds so existing golden traces keep their
+	// numeric values.
+	KindQueuePause
+	KindQueueResume
 )
 
 func (k Kind) String() string {
@@ -50,6 +57,10 @@ func (k Kind) String() string {
 		return "CREDIT"
 	case KindQueue:
 		return "QUEUE"
+	case KindQueuePause:
+		return "QPAUSE"
+	case KindQueueResume:
+		return "QRESUME"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -66,6 +77,7 @@ type Message struct {
 	Stage    int        // KindStage
 	FCCL     int64      // KindCredit, in 64-byte blocks
 	Queue    units.Size // KindQueue
+	QueueID  int        // KindQueuePause / KindQueueResume
 }
 
 // Wire reports the frame's size on the wire.
@@ -136,6 +148,29 @@ type Receiver interface {
 	// OnDeparture reports that a packet of size s left the switch,
 	// bringing the ingress queue to q.
 	OnDeparture(s, q units.Size)
+}
+
+// QueueSender is implemented by Senders that gate transmission per physical
+// downstream queue rather than per channel (BFC). TrySendQueue is
+// side-effect-free: the scheduler probes each backlogged queue with it and
+// commits via the ordinary OnSent once a packet is chosen.
+type QueueSender interface {
+	Sender
+	// TrySendQueue asks whether a packet of size s destined for
+	// downstream queue qid may start now. Same contract as TrySend.
+	TrySendQueue(qid int, s units.Size) (ok bool, wake units.Time)
+	// Queues reports the number of physical queues the scheme assigns
+	// flows to at the downstream ingress.
+	Queues() int
+}
+
+// QueueReceiver is implemented by Receivers that track per-queue occupancy
+// (BFC). The simulator calls these alongside OnArrival/OnDeparture with the
+// queue the packet was assigned to at the upstream egress.
+type QueueReceiver interface {
+	Receiver
+	OnQueueArrival(qid int, s, q units.Size)
+	OnQueueDeparture(qid int, s, q units.Size)
 }
 
 // Bounded is implemented by Senders whose rate mapping has a finite queue

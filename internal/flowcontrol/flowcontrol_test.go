@@ -60,7 +60,8 @@ func TestParamsValidate(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindPause: "PAUSE", KindResume: "RESUME", KindStage: "STAGE",
-		KindCredit: "CREDIT", KindQueue: "QUEUE", Kind(99): "kind(99)",
+		KindCredit: "CREDIT", KindQueue: "QUEUE", KindQueuePause: "QPAUSE",
+		KindQueueResume: "QRESUME", Kind(99): "kind(99)",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
@@ -72,7 +73,10 @@ func TestKindString(t *testing.T) {
 
 func TestRecommendedPFC(t *testing.T) {
 	p := testParams()
-	cfg := RecommendedPFC(p)
+	cfg, err := RecommendedPFC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// headroom = Cτ = 12500B; XOFF = 987.5KB; XON = XOFF − 3KB.
 	if cfg.XOFF != p.Buffer-12500 {
 		t.Errorf("XOFF = %v", cfg.XOFF)
@@ -82,6 +86,57 @@ func TestRecommendedPFC(t *testing.T) {
 	}
 	if err := cfg.Validate(p); err != nil {
 		t.Error(err)
+	}
+}
+
+// RecommendedPFC must reject buffers that cannot host the Cτ headroom plus
+// a positive XON: at or below Cτ + 2·MTU the derived thresholds would be
+// non-positive. The boundary cases are Buffer = Cτ, Cτ + MTU, Cτ + 2·MTU
+// (all invalid) and the first valid size just above.
+func TestRecommendedPFCSmallBuffer(t *testing.T) {
+	p := testParams()
+	headroom := units.BytesIn(p.Capacity, p.Tau) // Cτ = 12500B
+	for _, buf := range []units.Size{
+		headroom,           // XOFF = 0
+		headroom + p.MTU,   // XON < 0
+		headroom + 2*p.MTU, // XON = 0
+	} {
+		p.Buffer = buf
+		if cfg, err := RecommendedPFC(p); err == nil {
+			t.Errorf("buffer %v accepted: %+v", buf, cfg)
+		}
+	}
+	p.Buffer = headroom + 2*p.MTU + 1
+	cfg, err := RecommendedPFC(p)
+	if err != nil {
+		t.Fatalf("minimal viable buffer rejected: %v", err)
+	}
+	if cfg.XON != 1 || cfg.XOFF != 2*p.MTU+1 {
+		t.Errorf("thresholds at minimal buffer: %+v", cfg)
+	}
+}
+
+// quantaDuration rounds half-up to the nanosecond clock: one quantum is
+// 51.2 ns at 10 Gb/s, 5.12 ns at 100 Gb/s and 1.28 ns at 400 Gb/s, so the
+// multi-quanta values below would drift under truncation.
+func TestQuantaDurationRounding(t *testing.T) {
+	cases := []struct {
+		q    int
+		c    units.Rate
+		want units.Time
+	}{
+		{1, 10 * units.Gbps, 51},     // 51.2
+		{100, 10 * units.Gbps, 5120}, // exact
+		{1, 100 * units.Gbps, 5},     // 5.12
+		{3, 100 * units.Gbps, 15},    // 15.36
+		{1, 400 * units.Gbps, 1},     // 1.28
+		{3, 400 * units.Gbps, 4},     // 3.84 → rounds up (trunc would give 3)
+		{100, 400 * units.Gbps, 128}, // exact
+	}
+	for _, c := range cases {
+		if got := quantaDuration(c.q, c.c); got != c.want {
+			t.Errorf("quantaDuration(%d, %v) = %v, want %v", c.q, c.c, got, c.want)
+		}
 	}
 }
 
@@ -167,7 +222,12 @@ func TestBlocks(t *testing.T) {
 	cases := []struct {
 		s    units.Size
 		want int64
-	}{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {1500, 24}}
+	}{
+		// A zero-size (header-only) packet must still consume a block, or
+		// credit accounting lets it bypass flow control entirely.
+		{0, 1},
+		{1, 1}, {64, 1}, {65, 2}, {1500, 24},
+	}
 	for _, c := range cases {
 		if got := Blocks(c.s); got != c.want {
 			t.Errorf("Blocks(%d) = %d, want %d", c.s, got, c.want)
@@ -592,6 +652,134 @@ func TestGFCTimeDefaultsDerived(t *testing.T) {
 	p.Buffer = 50 * units.KB
 	if _, err := NewGFCTime(GFCTimeConfig{})(p, env); err == nil {
 		t.Fatal("undersized buffer accepted")
+	}
+}
+
+// --- BFC ---
+
+func TestRecommendedBFC(t *testing.T) {
+	p := testParams()
+	cfg, err := RecommendedBFC(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1000KB − 12.5KB) / 8 = 123437B per queue; XON one MTU below.
+	if cfg.XOFF != (p.Buffer-12500)/8 {
+		t.Errorf("XOFF = %v", cfg.XOFF)
+	}
+	if cfg.XON != cfg.XOFF-p.MTU {
+		t.Errorf("XON = %v", cfg.XON)
+	}
+	if err := cfg.Validate(p); err != nil {
+		t.Error(err)
+	}
+	// A buffer that cannot give each queue a positive XON is rejected.
+	p.Buffer = 12500 + 8*p.MTU
+	if _, err := RecommendedBFC(p, 8); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+}
+
+func TestBFCPerQueuePauseResume(t *testing.T) {
+	env := newFakeEnv()
+	p := testParams()
+	cfg := BFCConfig{Queues: 4, XOFF: 100 * units.KB, XON: 98 * units.KB}
+	c, err := NewBFC(cfg)(p, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.forward = c.Sender
+	c.Receiver.Start()
+	qs := c.Sender.(QueueSender)
+	if qs.Queues() != 4 {
+		t.Fatalf("Queues() = %d", qs.Queues())
+	}
+	recv := c.Receiver.(QueueReceiver)
+
+	// Fill queue 2 past XOFF: only queue 2 pauses.
+	recv.OnQueueArrival(2, 100*units.KB, 100*units.KB)
+	env.eng.RunAll()
+	if len(env.sent) != 1 || env.sent[0].Kind != KindQueuePause || env.sent[0].QueueID != 2 {
+		t.Fatalf("messages = %+v, want one QPAUSE for queue 2", env.sent)
+	}
+	if ok, _ := qs.TrySendQueue(2, 1500); ok {
+		t.Fatal("paused queue still sendable")
+	}
+	if ok, _ := qs.TrySendQueue(0, 1500); !ok {
+		t.Fatal("unpaused queue blocked — HoL blocking reintroduced")
+	}
+	if ok, _ := c.Sender.TrySend(1500); !ok {
+		t.Fatal("channel-level TrySend blocked with 3 queues free")
+	}
+	if c.Sender.Rate() != p.Capacity {
+		t.Fatal("rate dropped with unpaused queues remaining")
+	}
+
+	// Bounce inside (XON, XOFF): silent.
+	recv.OnQueueDeparture(2, 1*units.KB, 99*units.KB)
+	recv.OnQueueArrival(2, 1*units.KB, 100*units.KB)
+	env.eng.RunAll()
+	if len(env.sent) != 1 {
+		t.Fatalf("spurious messages: %+v", env.sent)
+	}
+
+	// Drain queue 2 to XON: QRESUME for queue 2 only.
+	recv.OnQueueDeparture(2, 2*units.KB, 98*units.KB)
+	env.eng.RunAll()
+	if len(env.sent) != 2 || env.sent[1].Kind != KindQueueResume || env.sent[1].QueueID != 2 {
+		t.Fatalf("messages = %+v, want QPAUSE,QRESUME", env.sent)
+	}
+	if ok, _ := qs.TrySendQueue(2, 1500); !ok {
+		t.Fatal("queue 2 still paused after QRESUME")
+	}
+}
+
+func TestBFCAllQueuesPaused(t *testing.T) {
+	env := newFakeEnv()
+	p := testParams()
+	cfg := BFCConfig{Queues: 2, XOFF: 100 * units.KB, XON: 98 * units.KB}
+	c, err := NewBFC(cfg)(p, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.forward = c.Sender
+	recv := c.Receiver.(QueueReceiver)
+	recv.OnQueueArrival(0, 100*units.KB, 100*units.KB)
+	recv.OnQueueArrival(1, 100*units.KB, 200*units.KB)
+	env.eng.RunAll()
+	if ok, wake := c.Sender.TrySend(1500); ok || wake != units.Never {
+		t.Fatal("sender not fully blocked with every queue paused")
+	}
+	if c.Sender.Rate() != 0 {
+		t.Fatal("rate not zero with every queue paused")
+	}
+	// A duplicate pause must not double-count.
+	c.Sender.OnFeedback(Message{Kind: KindQueuePause, QueueID: 0})
+	c.Sender.OnFeedback(Message{Kind: KindQueueResume, QueueID: 0})
+	if c.Sender.Rate() != p.Capacity {
+		t.Fatal("rate not restored after resume")
+	}
+	// Out-of-range queue IDs are ignored.
+	c.Sender.OnFeedback(Message{Kind: KindQueuePause, QueueID: 99})
+	if c.Sender.(*bfcSender).npaused != 1 {
+		t.Fatal("out-of-range QueueID changed pause state")
+	}
+}
+
+func TestBFCRejectsBadConfig(t *testing.T) {
+	env := newFakeEnv()
+	p := testParams()
+	bad := []BFCConfig{
+		{Queues: 2, XOFF: 0, XON: 0},
+		{Queues: 2, XOFF: 100 * units.KB, XON: 200 * units.KB},
+		{Queues: -1, XOFF: 100 * units.KB, XON: 98 * units.KB},
+		// 8 queues × 150KB + 12.5KB headroom > 1000KB buffer.
+		{Queues: 8, XOFF: 150 * units.KB, XON: 148 * units.KB},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBFC(cfg)(p, env); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package flowcontrol
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -31,18 +32,29 @@ type PFCConfig struct {
 }
 
 // quantaDuration converts pause quanta to time at capacity c: one quantum
-// is 512 bit-times.
+// is 512 bit-times, rounded half-up to the nanosecond clock. Truncation is
+// not good enough at high capacities — at 400 Gb/s a quantum is 1.28 ns and
+// every refresh cycle would otherwise shave the fraction off again.
 func quantaDuration(q int, c units.Rate) units.Time {
-	return units.Time(float64(q) * 512 / float64(c) * 1e9)
+	return units.Time(math.Round(float64(q) * 512 / float64(c) * 1e9))
 }
 
 // RecommendedPFC derives thresholds from the buffer size, capacity and
 // feedback latency: XOFF leaves Cτ headroom (the 802.1Qbb minimum) and XON
 // sits 2 MTU below XOFF, the interval recommended in DCQCN deployments [59].
-func RecommendedPFC(p Params) PFCConfig {
+// A buffer of Cτ + 2·MTU or less cannot host both the headroom and a
+// positive XON, so it is rejected here instead of producing a non-positive
+// threshold that only fails later in Validate.
+func RecommendedPFC(p Params) (PFCConfig, error) {
 	headroom := units.BytesIn(p.Capacity, p.Tau)
 	xoff := p.Buffer - headroom
-	return PFCConfig{XOFF: xoff, XON: xoff - 2*p.MTU}
+	xon := xoff - 2*p.MTU
+	if xon <= 0 {
+		return PFCConfig{}, fmt.Errorf(
+			"flowcontrol: buffer %v too small for PFC: need more than Cτ+2·MTU = %v",
+			p.Buffer, headroom+2*p.MTU)
+	}
+	return PFCConfig{XOFF: xoff, XON: xon}, nil
 }
 
 // Validate reports an error for inconsistent thresholds.
@@ -79,7 +91,11 @@ func NewPFC(cfg PFCConfig) Factory {
 // NewPFCDefault returns a PFC Factory with RecommendedPFC thresholds.
 func NewPFCDefault() Factory {
 	return func(p Params, env Env) (Controller, error) {
-		return NewPFC(RecommendedPFC(p))(p, env)
+		cfg, err := RecommendedPFC(p)
+		if err != nil {
+			return Controller{}, err
+		}
+		return NewPFC(cfg)(p, env)
 	}
 }
 

@@ -46,6 +46,16 @@ type Config struct {
 	// Scheduling is the switching discipline; default SchedBlocking,
 	// matching the paper's DPDK testbed switch.
 	Scheduling Scheduling
+	// FlowQueues, when positive, gives every egress channel that many
+	// physical queues with dynamic flow→queue assignment (BFC, Goyal et
+	// al.): a flow with queued packets stays in its queue, new flows take
+	// the emptiest one, and the wired flow controller must implement
+	// flowcontrol.QueueSender/QueueReceiver so pause/resume is scoped per
+	// queue. Setting it forces the output-queued SchedFIFO discipline —
+	// BFC's design point is that the physical queues themselves replace
+	// ingress FIFOs and VOQs. Zero (the default) disables per-flow
+	// queueing and costs the hot path nothing.
+	FlowQueues int
 	// TxRing is the per-egress TX ring capacity in packets for
 	// SchedBlocking; default 128 (DPDK rings are a few hundred
 	// descriptors).
@@ -111,6 +121,9 @@ func (c *Config) fillDefaults() {
 	if c.TxRing == 0 {
 		c.TxRing = 128
 	}
+	if c.FlowQueues > 0 {
+		c.Scheduling = SchedFIFO
+	}
 }
 
 func (c *Config) validate() error {
@@ -122,6 +135,9 @@ func (c *Config) validate() error {
 	}
 	if c.Priorities < 1 || c.Priorities > 8 {
 		return fmt.Errorf("netsim: Priorities %d outside [1,8]", c.Priorities)
+	}
+	if c.FlowQueues < 0 || c.FlowQueues > 64 {
+		return fmt.Errorf("netsim: FlowQueues %d outside [0,64]", c.FlowQueues)
 	}
 	if c.PriorityWeights != nil {
 		if len(c.PriorityWeights) != c.Priorities {

@@ -42,6 +42,11 @@ func (n *Network) completeTx(p *port) {
 		if r := n.receivers[ch]; r != nil {
 			r.OnDeparture(pkt.Size, n.occupancy[ch])
 		}
+		if n.fq > 0 {
+			if qr := n.queueReceivers[ch]; qr != nil {
+				qr.OnQueueDeparture(int(pkt.arrivalQueue), pkt.Size, n.occupancy[ch])
+			}
+		}
 	case topology.Host:
 		pkt.Flow.sent += pkt.Size
 		pkt.sentAt = now
@@ -117,6 +122,15 @@ func (n *Network) arrive(nd *node, idx int, pkt *Packet) {
 	}
 	if r := n.receivers[ch]; r != nil {
 		r.OnArrival(pkt.Size, occ)
+	}
+	if n.fq > 0 {
+		// Freeze the upstream queue assignment: this is the physical
+		// queue the packet occupies at this ingress until it departs,
+		// regardless of which queue the next hop assigns it.
+		pkt.arrivalQueue = pkt.queue
+		if qr := n.queueReceivers[ch]; qr != nil {
+			qr.OnQueueArrival(int(pkt.arrivalQueue), pkt.Size, occ)
+		}
 	}
 	pkt.arrivalPort = idx
 	pkt.hop++

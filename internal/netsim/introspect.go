@@ -48,9 +48,7 @@ func (n *Network) ChannelStates() []ChannelState {
 					QueuedBytes: n.queuedBytes[p.cb+prio],
 					TxBytes:     n.txBytes[p.cb+prio],
 				}
-				if s := n.senders[p.cb+prio]; s != nil {
-					cs.Rate = s.Rate()
-				}
+				cs.Rate = n.egressRate(p, prio)
 				fed := n.fedBytes[p.fedBase+prio*len(nd.ports):]
 				for key := 0; key < len(nd.ports); key++ {
 					if fed[key] > 0 {
@@ -129,11 +127,7 @@ func (n *Network) IngressStates() []IngressState {
 				}
 				addWait := func(eg *port) {
 					is.WaitsOn = append(is.WaitsOn, eg.peer)
-					var r units.Rate
-					if s := n.senders[eg.cb+prio]; s != nil {
-						r = s.Rate()
-					}
-					is.WaitRates = append(is.WaitRates, r)
+					is.WaitRates = append(is.WaitRates, n.egressRate(eg, prio))
 					is.WaitsDown = append(is.WaitsDown, eg.adminDown)
 				}
 				switch n.cfg.Scheduling {
@@ -173,6 +167,38 @@ func (n *Network) IngressStates() []IngressState {
 		}
 	}
 	return out
+}
+
+// egressRate reports the effective flow-control permitted rate of egress
+// channel p/prio. For channel-scoped schemes this is the sender's Rate().
+// For per-flow-queue schemes (FlowQueues > 0) the channel-level Rate() stays
+// at capacity while any queue is unpaused, which would hide a stall whose
+// entire backlog sits in paused queues — so here the backlogged queues are
+// probed: any sendable backlog means line rate, all-paused backlog means 0,
+// and an idle channel falls back to Rate().
+func (n *Network) egressRate(p *port, prio int) units.Rate {
+	s := n.senders[p.cb+prio]
+	if s == nil {
+		return 0
+	}
+	if n.fq > 0 {
+		if qs := n.queueSenders[p.cb+prio]; qs != nil {
+			base := p.voqBase + prio*p.slots
+			backlogged := false
+			for i := 0; i < p.slots; i++ {
+				if v := &n.voqs[base+i]; !v.q.empty() {
+					backlogged = true
+					if ok, _ := qs.TrySendQueue(i, v.q.front().Size); ok {
+						return p.capacity
+					}
+				}
+			}
+			if backlogged {
+				return 0
+			}
+		}
+	}
+	return s.Rate()
 }
 
 // DropIngressHead forcibly removes the head packet of the given ingress

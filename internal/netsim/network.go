@@ -62,6 +62,25 @@ type Network struct {
 	// port.fedBase.
 	voqs     []voq
 	fedBytes []units.Size
+
+	// Per-flow queue state (Config.FlowQueues > 0, BFC). All nil/zero
+	// otherwise, so the disabled cost is one int compare on the hot path.
+	// fq is cfg.FlowQueues; qAssign maps flow ID → current assignment per
+	// channel; slotFlows counts assigned flows per physical queue with the
+	// same (voqBase + prio*slots + slot) indexing as voqs; queueSenders /
+	// queueReceivers are the wired controllers' per-queue interfaces.
+	fq             int
+	qAssign        []map[int]flowAssign
+	slotFlows      []int32
+	queueSenders   []flowcontrol.QueueSender
+	queueReceivers []flowcontrol.QueueReceiver
+
+	// fbObs, when non-nil, observes every feedback message at its delivery
+	// instant (after loss/delay faults have taken effect) — the in-data-
+	// plane vantage point DCFIT-style deadlock detection needs. from is
+	// the emitting (downstream) node, to the paused/credited (upstream)
+	// node.
+	fbObs func(from, to topology.NodeID, prio int, m flowcontrol.Message)
 	// Per-(node, priority) SchedBlocking forwarding state, indexed
 	// node.nb+prio.
 	fwdCursor  []int32
@@ -105,6 +124,9 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		if cfg.Scheduling == SchedVOQ {
 			slots = len(ats)
 		}
+		if cfg.FlowQueues > 0 {
+			slots = cfg.FlowQueues
+		}
 		totalVoqs += len(ats) * k * slots
 		totalFed += len(ats) * k * len(ats)
 	}
@@ -123,6 +145,13 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 	n.fwdCursor = make([]int32, nn*k)
 	n.fwdBlocked = make([]*port, nn*k)
 	n.forwarding = make([]bool, nn*k)
+	if cfg.FlowQueues > 0 {
+		n.fq = cfg.FlowQueues
+		n.qAssign = make([]map[int]flowAssign, chans)
+		n.slotFlows = make([]int32, totalVoqs)
+		n.queueSenders = make([]flowcontrol.QueueSender, chans)
+		n.queueReceivers = make([]flowcontrol.QueueReceiver, chans)
+	}
 
 	// Pass 2: build nodes and ports, assigning each port its bases.
 	n.nodes = make([]*node, nn)
@@ -135,6 +164,9 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 		slots := 1
 		if cfg.Scheduling == SchedVOQ {
 			slots = len(ats)
+		}
+		if cfg.FlowQueues > 0 {
+			slots = cfg.FlowQueues
 		}
 		for i, at := range ats {
 			p := &n.ports[pb]
@@ -205,6 +237,24 @@ func New(topo *topology.Topology, cfg Config) (*Network, error) {
 				}
 				n.receivers[p.cb+prio] = ctl.Receiver
 				n.senders[up.cb+prio] = ctl.Sender
+				if n.fq > 0 {
+					qs, ok := ctl.Sender.(flowcontrol.QueueSender)
+					if !ok {
+						return nil, fmt.Errorf("netsim: FlowQueues=%d but the %s->%s prio %d sender is not queue-aware",
+							n.fq, topo.Node(p.peer).Name, topo.Node(nd.id).Name, prio)
+					}
+					if qs.Queues() != n.fq {
+						return nil, fmt.Errorf("netsim: FlowQueues=%d but the wired scheme has %d queues",
+							n.fq, qs.Queues())
+					}
+					qr, ok := ctl.Receiver.(flowcontrol.QueueReceiver)
+					if !ok {
+						return nil, fmt.Errorf("netsim: FlowQueues=%d but the %s->%s prio %d receiver is not queue-aware",
+							n.fq, topo.Node(p.peer).Name, topo.Node(nd.id).Name, prio)
+					}
+					n.queueSenders[up.cb+prio] = qs
+					n.queueReceivers[p.cb+prio] = qr
+				}
 			}
 		}
 	}
@@ -408,8 +458,12 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 	}
 	sender := n.senders[e.up.cb+e.prio]
 	up := e.up
+	from, prio := e.down.owner.id, e.prio
 	n.eng.After(delay, func() {
 		sender.OnFeedback(m)
+		if obs := n.fbObs; obs != nil {
+			obs(from, up.owner.id, prio, m)
+		}
 		n.kick(up)
 		// A rate or credit change may also unblock the host refill
 		// path indirectly; kick handles the egress side, and refill
@@ -417,12 +471,21 @@ func (e *fcEnv) Emit(m flowcontrol.Message) {
 	})
 }
 
+// SetFeedbackObserver installs fn to observe every feedback message at the
+// instant it is delivered to its sender — after fault-injected loss (dropped
+// messages are never observed, matching the sender's view of the world) and
+// after any delay. Used by in-data-plane deadlock detection (DCFIT); at most
+// one observer, nil uninstalls.
+func (n *Network) SetFeedbackObserver(fn func(from, to topology.NodeID, prio int, m flowcontrol.Message)) {
+	n.fbObs = fn
+}
+
 // feedbackClass buckets a flow-control message kind for metrics accounting.
 func feedbackClass(k flowcontrol.Kind) metrics.FeedbackClass {
 	switch k {
-	case flowcontrol.KindPause:
+	case flowcontrol.KindPause, flowcontrol.KindQueuePause:
 		return metrics.FeedbackPause
-	case flowcontrol.KindResume:
+	case flowcontrol.KindResume, flowcontrol.KindQueueResume:
 		return metrics.FeedbackResume
 	case flowcontrol.KindStage:
 		return metrics.FeedbackStage

@@ -33,6 +33,14 @@ type Packet struct {
 	// priority the packet arrived on. -1 at the source host.
 	arrivalPort int
 
+	// Per-flow queue accounting (Config.FlowQueues > 0): queue is the
+	// physical queue the packet is assigned to at its current egress, and
+	// arrivalQueue freezes the assignment it arrived downstream with — the
+	// queue id the ingress BFC receiver is told about on admission and
+	// departure. Both are recycled to zero with the packet.
+	queue        int32
+	arrivalQueue int32
+
 	// ECN is set when the packet passed a switch whose egress queue
 	// exceeded the marking threshold (used by DCQCN).
 	ECN bool

@@ -114,12 +114,72 @@ func arrivalKey(pkt *Packet) int {
 	return pkt.arrivalPort
 }
 
+// flowAssign is one flow's current queue assignment on an egress channel:
+// the physical queue it occupies and how many of its packets are queued
+// there. The assignment is released when the count drains to zero, so a
+// returning flow can land on whatever queue is emptiest by then — BFC's
+// dynamic (not hashed) flow→queue mapping.
+type flowAssign struct {
+	slot int32
+	pkts int32
+}
+
+// assignSlot picks the physical queue for pkt on egress channel p/prio
+// (Config.FlowQueues > 0): the flow's existing queue while it has packets
+// there, otherwise the lowest-indexed empty queue, otherwise the queue with
+// the fewest assigned flows (lowest index breaking ties). Deterministic by
+// construction — no map iteration, only keyed lookups and index-order scans.
+func (n *Network) assignSlot(p *port, pkt *Packet) int {
+	ch := p.cb + pkt.Priority
+	m := n.qAssign[ch]
+	if m == nil {
+		m = make(map[int]flowAssign, n.fq)
+		n.qAssign[ch] = m
+	}
+	id := pkt.Flow.ID
+	if a, ok := m[id]; ok {
+		a.pkts++
+		m[id] = a
+		return int(a.slot)
+	}
+	base := p.voqBase + pkt.Priority*p.slots
+	best, bestFlows := 0, n.slotFlows[base]
+	for i := 0; i < p.slots && bestFlows > 0; i++ {
+		if f := n.slotFlows[base+i]; f < bestFlows {
+			best, bestFlows = i, f
+		}
+	}
+	n.slotFlows[base+best]++
+	m[id] = flowAssign{slot: int32(best), pkts: 1}
+	return best
+}
+
+// releaseSlot decrements the dequeued packet's flow assignment, freeing the
+// queue claim once its last queued packet leaves.
+func (n *Network) releaseSlot(p *port, prio int, pkt *Packet) {
+	ch := p.cb + prio
+	m := n.qAssign[ch]
+	id := pkt.Flow.ID
+	a := m[id]
+	a.pkts--
+	if a.pkts <= 0 {
+		delete(m, id)
+		n.slotFlows[p.voqBase+prio*p.slots+int(a.slot)]--
+		return
+	}
+	m[id] = a
+}
+
 // enqueue appends pkt to p's egress for its priority.
 func (n *Network) enqueue(p *port, pkt *Packet) {
 	key := arrivalKey(pkt)
 	slot := key
 	if p.sched != SchedVOQ {
 		slot = 0 // FIFO / TX-ring order for every other discipline
+	}
+	if n.fq > 0 {
+		slot = n.assignSlot(p, pkt)
+		pkt.queue = int32(slot)
 	}
 	v := &n.voqs[p.voqBase+pkt.Priority*p.slots+slot]
 	v.q.push(pkt)
@@ -134,7 +194,7 @@ func (n *Network) enqueue(p *port, pkt *Packet) {
 // the round-robin VOQ head in VOQ mode.
 func (n *Network) nextPacket(p *port, prio int) (*Packet, int) {
 	base := p.voqBase + prio*p.slots
-	if p.sched != SchedVOQ {
+	if p.slots == 1 {
 		if v := &n.voqs[base]; !v.q.empty() {
 			return v.q.front(), 0
 		}
@@ -159,6 +219,9 @@ func (n *Network) dequeue(p *port, prio, slot int) *Packet {
 	n.queuedBytes[p.cb+prio] -= pkt.Size
 	p.queuedPkts--
 	n.rrVoq[p.cb+prio] = int32((slot + 1) % p.slots)
+	if n.fq > 0 {
+		n.releaseSlot(p, prio, pkt)
+	}
 	return pkt
 }
 

@@ -129,6 +129,15 @@ func (n *Network) kick(p *port) {
 			n.inq[in.cb+prio].pop()
 			n.rrVoq[p.cb+prio] = int32((in.local + 1) % len(p.owner.ports))
 			pkt, freed = head, in
+		} else if n.fq > 0 {
+			head, slot, wake := n.nextQueued(p, prio)
+			if head == nil {
+				if wake < minWake {
+					minWake = wake
+				}
+				continue
+			}
+			pkt = n.dequeue(p, prio, slot)
 		} else {
 			head, slot := n.nextPacket(p, prio)
 			if head == nil {
@@ -276,6 +285,34 @@ func (n *Network) prioOrder(p *port) []int {
 
 // oneZero avoids allocating for the ubiquitous single-priority case.
 var oneZero = []int{0}
+
+// nextQueued scans p's physical queues round-robin (FlowQueues > 0) for a
+// head packet the per-queue flow controller permits. A paused queue blocks
+// only its own flows; the scan moves on to the next backlogged queue — the
+// HoL-blocking elimination that is BFC's whole point. Returns the packet and
+// its queue, or (nil, -1, wake) with the earliest retry time.
+func (n *Network) nextQueued(p *port, prio int) (*Packet, int, units.Time) {
+	qs := n.queueSenders[p.cb+prio]
+	base := p.voqBase + prio*p.slots
+	minWake := units.Never
+	for i := 0; i < p.slots; i++ {
+		k := (int(n.rrVoq[p.cb+prio]) + i) % p.slots
+		v := &n.voqs[base+k]
+		if v.q.empty() {
+			continue
+		}
+		head := v.q.front()
+		ok, wake := qs.TrySendQueue(k, head.Size)
+		if !ok {
+			if wake < minWake {
+				minWake = wake
+			}
+			continue
+		}
+		return head, k, 0
+	}
+	return nil, -1, minWake
+}
 
 // nextFromInputs scans the owner's ingress FIFOs round-robin for a head
 // packet bound for egress p at the given priority that flow control permits.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/faults"
+	"github.com/gfcsim/gfc/internal/flowcontrol"
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/routing"
@@ -52,8 +53,23 @@ type Sim struct {
 	Flows    []*netsim.Flow
 	Gen      *workload.Generator
 	Detector *deadlock.Detector
+	// DCFIT is the in-data-plane detector, installed when Run.Detector is
+	// "dcfit" or "both" (for "dcfit" alone, Detector stays nil).
+	DCFIT    *deadlock.DCFIT
 	Injector *faults.Injector
 	Metrics  *metrics.Registry
+}
+
+// probe returns the detector driving the run's stop condition and summary
+// verdict: the global detector when installed, else DCFIT, else nil.
+func (s *Sim) probe() deadlock.Probe {
+	if s.Detector != nil {
+		return s.Detector
+	}
+	if s.DCFIT != nil {
+		return s.DCFIT
+	}
+	return nil
 }
 
 // Build compiles a Spec (plus optional Overrides) into a runnable Sim. The
@@ -160,9 +176,23 @@ func Build(spec Spec, ov *Overrides) (*Sim, error) {
 		sim.Gen = gen
 	}
 	if spec.Run.DetectDeadlock || spec.Run.StopOnDeadlock {
-		det := deadlock.NewDetector(net)
-		det.Install()
-		sim.Detector = det
+		global, dcfit := true, false
+		switch spec.Run.Detector {
+		case "dcfit":
+			global, dcfit = false, true
+		case "both":
+			dcfit = true
+		}
+		if global {
+			det := deadlock.NewDetector(net)
+			det.Install()
+			sim.Detector = det
+		}
+		if dcfit {
+			d := deadlock.NewDCFIT(net)
+			d.Install()
+			sim.DCFIT = d
+		}
 	}
 	return sim, nil
 }
@@ -175,8 +205,14 @@ type Result struct {
 	Deadlocked   bool
 	DeadlockAt   units.Time
 	DeadlockKind deadlock.Kind
-	Drops        int64
-	Delivered    units.Size
+	// DCFITDeadlocked / DCFITAt are the in-data-plane detector's verdict
+	// when it was installed (Run.Detector "dcfit" or "both"). With "both",
+	// the fields above stay the global detector's verdict so the two can
+	// be compared.
+	DCFITDeadlocked bool
+	DCFITAt         units.Time
+	Drops           int64
+	Delivered       units.Size
 	// Violations is the attached registry's invariant-violation count
 	// (zero when no registry was attached).
 	Violations int64
@@ -193,18 +229,18 @@ type Result struct {
 func (s *Sim) Run() *Result {
 	d := s.Spec.Run.DurationNs
 	eng := s.Net.Engine()
-	if s.Spec.Run.StopOnDeadlock && s.Detector != nil {
+	if p := s.probe(); s.Spec.Run.StopOnDeadlock && p != nil {
 		// Poll at the detector's own cadence; once it has a report,
 		// stop the engine after the in-flight event.
 		var watch func()
 		watch = func() {
-			if s.Detector.Deadlocked() != nil {
+			if p.Deadlocked() != nil {
 				eng.Stop()
 				return
 			}
-			eng.After(s.Detector.Interval, watch)
+			eng.After(p.PollInterval(), watch)
 		}
-		eng.After(s.Detector.Interval, watch)
+		eng.After(p.PollInterval(), watch)
 	}
 	if s.Spec.Run.Quiesce {
 		for eng.Pending() > 0 && s.Net.Now() < d {
@@ -232,16 +268,16 @@ func (s *Sim) Run() *Result {
 func (s *Sim) RunBounded(ctx context.Context, extra netsim.Budget) (*Result, error) {
 	d := s.Spec.Run.DurationNs
 	eng := s.Net.Engine()
-	if s.Spec.Run.StopOnDeadlock && s.Detector != nil {
+	if p := s.probe(); s.Spec.Run.StopOnDeadlock && p != nil {
 		var watch func()
 		watch = func() {
-			if s.Detector.Deadlocked() != nil {
+			if p.Deadlocked() != nil {
 				eng.Stop()
 				return
 			}
-			eng.After(s.Detector.Interval, watch)
+			eng.After(p.PollInterval(), watch)
 		}
-		eng.After(s.Detector.Interval, watch)
+		eng.After(p.PollInterval(), watch)
 	}
 	if !s.Spec.Run.Quiesce {
 		// As in Run: pin the horizon so the clock reaches d even if the
@@ -269,11 +305,17 @@ func (s *Sim) summarise() *Result {
 		Drops:     s.Net.Drops(),
 		Delivered: s.Net.TotalDelivered(),
 	}
-	if s.Detector != nil {
-		if rep := s.Detector.Deadlocked(); rep != nil {
+	if p := s.probe(); p != nil {
+		if rep := p.Deadlocked(); rep != nil {
 			res.Deadlocked = true
 			res.DeadlockAt = rep.At
 			res.DeadlockKind = rep.Kind
+		}
+	}
+	if s.DCFIT != nil {
+		if rep := s.DCFIT.Deadlocked(); rep != nil {
+			res.DCFITDeadlocked = true
+			res.DCFITAt = rep.At
 		}
 	}
 	if s.Metrics != nil {
@@ -436,6 +478,15 @@ func (s *Spec) simConfig() (netsim.Config, error) {
 	}
 	cfg.Scheduling = sched
 	cfg.FlowControl = fp.Factory(s.Scheme.FC)
+	if s.Scheme.FC == BFC {
+		// BFC's per-queue pause needs the physical queues to exist in the
+		// switch model; FlowQueues > 0 also forces FIFO scheduling.
+		q := fp.Queues
+		if q <= 0 {
+			q = flowcontrol.DefaultBFCQueues
+		}
+		cfg.FlowQueues = q
+	}
 	return cfg, nil
 }
 

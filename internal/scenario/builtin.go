@@ -73,6 +73,8 @@ func schemeSlug(fc FC) string {
 		return "gfctime"
 	case GFCConceptual:
 		return "gfcconceptual"
+	case BFC:
+		return "bfc"
 	default:
 		return string(fc)
 	}
@@ -104,6 +106,32 @@ func init() {
 		Topology:    TopologySpec{Builder: "ring", N: 3},
 		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
 		Scheme:      SchemeSpec{FC: PFC, Preset: "testbed"},
+		Faults:      &FaultsSpec{Preset: "resume-loss"},
+		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
+	})
+	Register(Spec{
+		Name:        "ring-formation-bfc",
+		Description: "fig9 formation ring under BFC: per-queue pauses keep victim flows moving, the ring that wedges PFC stays live",
+		Topology:    TopologySpec{Builder: "ring", N: 3, HostsPerSwitch: 2},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: BFC, Preset: "testbed"},
+		Run:         RunSpec{DurationNs: 200 * units.Millisecond, DetectDeadlock: true, Detector: "both"},
+	})
+	Register(Spec{
+		Name:        "ring-formation-pfc-dcfit",
+		Description: "fig9 deadlock formation under PFC with in-data-plane DCFIT detection alongside the global detector",
+		Topology:    TopologySpec{Builder: "ring", N: 3, HostsPerSwitch: 2},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: PFC, Preset: "testbed"},
+		Run:         RunSpec{DurationNs: 200 * units.Millisecond, DetectDeadlock: true, Detector: "both"},
+	})
+	Register(Spec{
+		Name:        "ring-faulted-resume-loss-bfc",
+		Description: "canonical faulted ring: resume-loss preset wedges a BFC queue shut (seed 1)",
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "ring", N: 3},
+		Workload:    WorkloadSpec{Pattern: "ring-clockwise"},
+		Scheme:      SchemeSpec{FC: BFC, Preset: "testbed"},
 		Faults:      &FaultsSpec{Preset: "resume-loss"},
 		Run:         RunSpec{DurationNs: 60 * units.Millisecond, DetectDeadlock: true},
 	})
@@ -171,6 +199,9 @@ func init() {
 	for _, fc := range AllFCs() {
 		Register(clos128(fc))
 	}
+	// BFC rides the Clos tier too (the CI race smoke target); it is not in
+	// AllFCs because the paper's own comparisons stay four-scheme.
+	Register(clos128(BFC))
 	// The k=16 tier registers only the paper's headline schemes: PFC (the
 	// deadlock-prone baseline) and both deployable GFC designs. CBFC and
 	// conceptual GFC add nothing at this scale that clos128 doesn't show,

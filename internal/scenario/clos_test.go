@@ -12,9 +12,12 @@ import (
 // inter-rack enterprise workload, once per scheme. Each run must complete
 // with traffic delivered, and the GFC variants must finish with zero
 // invariant violations and no deadlock — the paper's central claim at a
-// scale the bespoke drivers never reached.
+// scale the bespoke drivers never reached. BFC rides along: its per-flow
+// queue assignment and per-queue pause bookkeeping get their concurrency
+// shakedown here under -race, and on a healthy fabric it must be as
+// lossless and deadlock-free as PFC.
 func TestClos128Smoke(t *testing.T) {
-	for _, fc := range AllFCs() {
+	for _, fc := range append(AllFCs(), BFC) {
 		fc := fc
 		t.Run(string(fc), func(t *testing.T) {
 			spec, ok := Get("clos128-" + schemeSlug(fc))
@@ -44,6 +47,15 @@ func TestClos128Smoke(t *testing.T) {
 			}
 			t.Logf("%s: delivered %v, drops %d, violations %d, deadlocked %v",
 				fc, res.Delivered, res.Drops, res.Violations, res.Deadlocked)
+			if fc == BFC {
+				if res.Drops != 0 || res.Violations != 0 {
+					t.Errorf("BFC: drops=%d violations=%d on the healthy Clos; want lossless",
+						res.Drops, res.Violations)
+				}
+				if res.Deadlocked {
+					t.Errorf("BFC deadlocked on a healthy fat-tree")
+				}
+			}
 			if fc.IsGFC() {
 				if res.Violations != 0 {
 					t.Errorf("%s: %d invariant violations on the healthy Clos; want 0", fc, res.Violations)

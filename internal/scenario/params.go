@@ -12,16 +12,20 @@ import (
 type FC string
 
 // The four schemes of the paper's comparison, plus the conceptual design of
-// §4.1 (continuous feedback; used by the Figure 5 illustration only).
+// §4.1 (continuous feedback; used by the Figure 5 illustration only) and BFC
+// (per-flow-queue backpressure, Goyal et al.; the fault-matrix challenger).
 const (
 	PFC           FC = "PFC"
 	CBFC          FC = "CBFC"
 	GFCBuf        FC = "GFC-buffer"
 	GFCTime       FC = "GFC-time"
 	GFCConceptual FC = "GFC-conceptual"
+	BFC           FC = "BFC"
 )
 
-// AllFCs lists the four schemes in the paper's presentation order.
+// AllFCs lists the four schemes in the paper's presentation order. BFC is
+// not included — it is outside the paper's own comparison; racers that want
+// it (the fault matrix) add it explicitly.
 func AllFCs() []FC { return []FC{PFC, GFCBuf, CBFC, GFCTime} }
 
 // IsGFC reports whether the scheme is one of the GFC variants.
@@ -30,7 +34,7 @@ func (fc FC) IsGFC() bool { return fc == GFCBuf || fc == GFCTime }
 // Known reports whether fc names a scheme Factory can build.
 func (fc FC) Known() bool {
 	switch fc {
-	case PFC, CBFC, GFCBuf, GFCTime, GFCConceptual:
+	case PFC, CBFC, GFCBuf, GFCTime, GFCConceptual, BFC:
 		return true
 	}
 	return false
@@ -53,6 +57,11 @@ type FCParams struct {
 	// Refresh is buffer-based GFC's periodic stage re-advertisement
 	// (loss repair); zero keeps the paper's pure edge-triggered feedback.
 	Refresh units.Time `json:"refresh_ns,omitempty"`
+	// Queues is BFC's physical queue count per channel (0 = the
+	// flowcontrol default). BFC derives its per-queue XOFF/XON from the
+	// channel parameters rather than taking the PFC thresholds above —
+	// those are class-scoped and would overcommit the buffer queues-fold.
+	Queues int `json:"queues,omitempty"`
 }
 
 // merge overlays the non-zero fields of o onto p.
@@ -78,6 +87,9 @@ func (p FCParams) merge(o FCParams) FCParams {
 	if o.Refresh != 0 {
 		p.Refresh = o.Refresh
 	}
+	if o.Queues != 0 {
+		p.Queues = o.Queues
+	}
 	return p
 }
 
@@ -97,6 +109,8 @@ func (p FCParams) Factory(fc FC) flowcontrol.Factory {
 		return flowcontrol.NewGFCTime(flowcontrol.GFCTimeConfig{Period: p.Period, B0: p.B0, Bm: p.Bm})
 	case GFCConceptual:
 		return flowcontrol.NewGFCConceptual(flowcontrol.GFCConceptualConfig{B0: p.B0, Bm: p.Bm})
+	case BFC:
+		return flowcontrol.NewBFCQueues(p.Queues)
 	default:
 		panic(fmt.Sprintf("scenario: unknown scheme %q", fc))
 	}

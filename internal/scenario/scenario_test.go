@@ -102,8 +102,11 @@ func TestRegisteredScenariosBuild(t *testing.T) {
 			if sim.Net == nil {
 				t.Fatal("Build returned nil network")
 			}
-			if (spec.Run.DetectDeadlock || spec.Run.StopOnDeadlock) && sim.Detector == nil {
+			if (spec.Run.DetectDeadlock || spec.Run.StopOnDeadlock) && sim.probe() == nil {
 				t.Fatal("spec asked for deadlock detection but no detector installed")
+			}
+			if spec.Run.Detector == "both" && (sim.Detector == nil || sim.DCFIT == nil) {
+				t.Fatal("detector \"both\" did not install both detectors")
 			}
 			if spec.Workload.Generator != nil && sim.Gen == nil {
 				t.Fatal("spec has a generator but none was started")

@@ -217,6 +217,11 @@ type RunSpec struct {
 	DurationNs units.Time `json:"duration_ns"`
 	// DetectDeadlock installs the runtime deadlock detector.
 	DetectDeadlock bool `json:"detect_deadlock,omitempty"`
+	// Detector selects which detector DetectDeadlock/StopOnDeadlock
+	// install: "" or "global" is the buffer-snapshot detector, "dcfit" the
+	// in-data-plane initial-trigger detector, "both" installs both (the
+	// global verdict drives stop conditions; DCFIT reports alongside).
+	Detector string `json:"detector,omitempty"`
 	// StopOnDeadlock ends the run at first detection (implies
 	// DetectDeadlock).
 	StopOnDeadlock bool `json:"stop_on_deadlock,omitempty"`
@@ -478,6 +483,11 @@ func (f *FaultsSpec) validate() error {
 func (r *RunSpec) validate() error {
 	if r.DurationNs <= 0 {
 		return fmt.Errorf("scenario: run: duration_ns must be positive, got %d", r.DurationNs)
+	}
+	switch r.Detector {
+	case "", "global", "dcfit", "both":
+	default:
+		return fmt.Errorf("scenario: run: unknown detector %q (want global, dcfit or both)", r.Detector)
 	}
 	return nil
 }
