@@ -66,6 +66,10 @@ var (
 		"declare livelock if this many events pass with no sim-time, delivery or\ndrop progress (0 = watchdog off)")
 	jobTimeout = flag.Duration("job-timeout", 0,
 		"sweeps: per-cell wall-clock deadline; a cell that blows it is quarantined\nand the sweep continues (0 = none)")
+	analytic = flag.Bool("analytic", false,
+		"sweeps: enforce the network-wide analytic checker on every repeat\n(internal/analytic; violated repeats quarantine their cell; changes the\ncheckpoint key)")
+	table1Scale = flag.String("table1-scale", "",
+		"table1: preset overriding the count flags — \"ci\" (k=4, 200 networks × 1\nrepeat, checker on: the CI gate) or \"full\" (paper scale: 10000 networks ×\n100 repeats, 1 flow/host, checker on; run with -checkpoint, see\nEXPERIMENTS.md)")
 )
 
 // ctx is cancelled on SIGINT/SIGTERM so runs stop at the next governor check,
@@ -467,6 +471,13 @@ func runSweep(which string) error {
 			ks = append(ks, k)
 		}
 	}
+	switch *table1Scale {
+	case "", "full":
+	case "ci":
+		ks = []int{4}
+	default:
+		return fmt.Errorf("unknown -table1-scale %q (want \"ci\" or \"full\")", *table1Scale)
+	}
 	results := make(map[int]map[experiments.FC]*experiments.SweepResult)
 	quarantined := 0
 	for _, k := range ks {
@@ -480,6 +491,18 @@ func runSweep(which string) error {
 		cfg.Budget = flagBudget()
 		cfg.JobTimeout = *jobTimeout
 		cfg.Checkpoint = *checkpoint
+		cfg.Analytic = *analytic
+		switch *table1Scale {
+		case "ci":
+			// The CI gate: a k=4 slice with the checker enforced, small
+			// enough to kill and resume inside a CI step.
+			cfg.Networks, cfg.Repeats, cfg.Analytic = 200, 1, true
+		case "full":
+			// §6.2.3 paper scale. Resumable: run with -checkpoint and the
+			// governor flags; see EXPERIMENTS.md for the overnight recipe.
+			cfg.Networks, cfg.Repeats = 10000, 100
+			cfg.FlowsPerHost, cfg.Analytic = 1, true
+		}
 		for _, fc := range experiments.AllFCs() {
 			fmt.Fprintf(os.Stderr, "sweep k=%d %s...\n", k, fc)
 			res, err := experiments.RunSweep(ctx, fc, cfg)

@@ -1,0 +1,347 @@
+// Package analytic computes per-topology predictions for a compiled
+// scenario and turns them into the network-wide bounds the metrics layer
+// asserts at end of run (metrics.NetworkBounds / Registry.CheckNetwork).
+//
+// Three families of results are combined (DESIGN.md §3.8):
+//
+//   - Bouillard-style stability analysis over the cyclic-buffer-dependency
+//     graph: a scheme whose per-channel service rate stays positive on every
+//     channel of every dependency cycle cannot reach a circular-wait
+//     deadlock. GFC's mapping functions never reach zero rate (the stage
+//     table's deepest rate, or the time-based minimum rate), so the GFC
+//     variants are deadlock-free on any topology; on/off schemes (PFC, BFC)
+//     and credit schemes (CBFC) are only deadlock-free when the CBD graph is
+//     acyclic and the feedback path is unfaulted.
+//   - Spang-style buffer-sizing envelopes: each scheme's worst-case ingress
+//     occupancy is its stop/slow threshold plus the C·τ of data in flight
+//     during one worst-case feedback latency (equation 6 per link, plus any
+//     configured feedback jitter), clamped to the physical buffer.
+//   - Conservation bounds: total delivered bytes cannot exceed the aggregate
+//     host link capacity × duration, and a deadlock-free unfaulted run must
+//     deliver something once the horizon comfortably exceeds a warmup.
+//
+// The package sits below internal/scenario (which adapts a built Sim into an
+// Input) and above internal/core / internal/flowcontrol, whose closed-form
+// bounds it reuses. Predict is pure: same Input, same Prediction.
+package analytic
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/core"
+	"github.com/gfcsim/gfc/internal/flowcontrol"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// Scheme names a flow-control scheme. The values match scenario.FC so the
+// two layers convert with a string cast without importing each other.
+type Scheme string
+
+// The analysed schemes.
+const (
+	PFC           Scheme = "PFC"
+	CBFC          Scheme = "CBFC"
+	GFCBuffer     Scheme = "GFC-buffer"
+	GFCTime       Scheme = "GFC-time"
+	GFCConceptual Scheme = "GFC-conceptual"
+	BFC           Scheme = "BFC"
+)
+
+// Params carries the scheme thresholds of the run under analysis — the same
+// quantities as scenario.FCParams. Zero fields are derived exactly as the
+// flowcontrol factories derive them, so a preset that leaves a threshold to
+// the factory is analysed with the value the factory will actually install.
+type Params struct {
+	XOFF   units.Size
+	XON    units.Size
+	B1     units.Size
+	Bm     units.Size
+	B0     units.Size
+	Period units.Time
+}
+
+// Input is one compiled scenario to analyse.
+type Input struct {
+	// Topo is the (possibly link-failed) topology. Required.
+	Topo *topology.Topology
+	// Scheme is the flow-control scheme under test. Required.
+	Scheme Scheme
+	// Cfg is the resolved simulator configuration (buffer size, MTU,
+	// τ override, processing delay, feedback jitter). BufferSize is
+	// required; the other fields default as netsim defaults them.
+	Cfg netsim.Config
+	// Params are the resolved scheme thresholds.
+	Params Params
+	// CBDKnown reports whether the workload's cyclic-buffer-dependency
+	// verdict was computed; CBDCyclic is that verdict. Unknown is treated
+	// as cyclic (the conservative direction for every claim).
+	CBDKnown  bool
+	CBDCyclic bool
+	// Faulted marks a run with an attached fault injector: feedback may
+	// be lost, delayed or forged, so only fault-robust bounds are
+	// asserted.
+	Faulted bool
+	// Duration is the declared run horizon. Required.
+	Duration units.Time
+}
+
+// Prediction is the per-topology analytic verdict. Bounds() converts the
+// quantitative fields into the metrics-layer checker's input.
+type Prediction struct {
+	Scheme Scheme
+	// DeadlockFree: the analysis guarantees the run cannot deadlock
+	// (positive service rate on every dependency cycle, or no cycle to
+	// wait on).
+	DeadlockFree bool
+	// Lossless: the scheme's thresholds leave enough reaction headroom
+	// that the analysis guarantees zero drops.
+	Lossless bool
+	// CBDKnown / CBDCyclic echo the dependency-graph verdict used.
+	CBDKnown  bool
+	CBDCyclic bool
+	// MaxOccupancy is the per-channel occupancy envelope in bytes.
+	MaxOccupancy units.Size
+	// MaxDelivered bounds aggregate delivered bytes over Duration.
+	MaxDelivered units.Size
+	// MinDelivered is the progress floor (0 when nothing is guaranteed).
+	MinDelivered units.Size
+	// FloorRate is the worst-case positive service rate the scheme
+	// sustains on a congested channel — the Bouillard cycle-service
+	// witness (0 when the scheme can stop a channel completely).
+	FloorRate units.Rate
+	// Tau is the worst-case feedback latency the envelope budgets for:
+	// max(configured τ override, per-link equation-6 bound) plus jitter.
+	Tau units.Time
+}
+
+// Bounds converts the prediction to the metrics-layer network checker input.
+func (p *Prediction) Bounds() metrics.NetworkBounds {
+	return metrics.NetworkBounds{
+		MaxOccupancy: p.MaxOccupancy,
+		MaxDelivered: p.MaxDelivered,
+		MinDelivered: p.MinDelivered,
+		Lossless:     p.Lossless,
+		DeadlockFree: p.DeadlockFree,
+	}
+}
+
+// warmup is the horizon below which no progress floor is asserted: first
+// deliveries need the workload start plus a few path traversals, and 1 ms is
+// hundreds of hop latencies on every topology in the catalogue.
+const warmup = 1 * units.Millisecond
+
+// Predict computes the analytic prediction for one compiled scenario. It is
+// pure and deterministic; an error means the input cannot be analysed (no
+// topology, no live links, unknown scheme), never that a bound is violated.
+func Predict(in Input) (*Prediction, error) {
+	if in.Topo == nil {
+		return nil, errors.New("analytic: topology is required")
+	}
+	if in.Duration <= 0 {
+		return nil, fmt.Errorf("analytic: duration %d must be positive", in.Duration)
+	}
+	cfg := in.Cfg
+	if cfg.MTU == 0 {
+		cfg.MTU = 1500 * units.Byte
+	}
+	if cfg.ProcDelay == 0 {
+		cfg.ProcDelay = 3 * units.Microsecond
+	}
+	if cfg.BufferSize <= 0 {
+		return nil, errors.New("analytic: buffer size is required")
+	}
+
+	// Worst-case feedback latency and line rate over the live links.
+	var tauDerived units.Time
+	var maxCap units.Rate
+	live := 0
+	for i := 0; i < in.Topo.NumLinks(); i++ {
+		l := in.Topo.Link(topology.LinkID(i))
+		if l.Failed {
+			continue
+		}
+		live++
+		if l.Capacity > maxCap {
+			maxCap = l.Capacity
+		}
+		if t := core.Tau(l.Capacity, cfg.MTU, l.Delay, cfg.ProcDelay); t > tauDerived {
+			tauDerived = t
+		}
+	}
+	if live == 0 || maxCap <= 0 {
+		return nil, errors.New("analytic: topology has no live links")
+	}
+	// tauActual bounds what the simulated feedback path can actually take
+	// (equation 6 plus jitter); tauBudget is what the factories sized the
+	// thresholds for (the configured override, or the same derivation).
+	// The envelope must absorb tauActual; the losslessness claims require
+	// the budget to cover it.
+	tauActual := tauDerived + cfg.FeedbackJitter
+	tauBudget := cfg.Tau
+	if tauBudget <= 0 {
+		tauBudget = tauDerived
+	}
+
+	p := &Prediction{
+		Scheme: in.Scheme, CBDKnown: in.CBDKnown, CBDCyclic: in.CBDCyclic,
+		Tau: maxTime(tauActual, tauBudget),
+	}
+	B := cfg.BufferSize
+	mtu := cfg.MTU
+	inflight := units.BytesIn(maxCap, tauActual)
+	acyclic := !in.Faulted && in.CBDKnown && !in.CBDCyclic
+
+	switch in.Scheme {
+	case PFC:
+		if x := in.Params.XOFF; x > 0 && !in.Faulted {
+			// Overshoot past XOFF is bounded by one feedback latency of
+			// line-rate arrivals plus the packet in flight when PAUSE
+			// lands. A faulted feedback path voids the bound (a delayed
+			// PAUSE admits arbitrarily more), so faulted runs fall back
+			// to the physical buffer.
+			p.MaxOccupancy = minSize(x+inflight+2*mtu, B)
+			p.Lossless = B-x >= inflight
+		} else {
+			// Factory-derived thresholds (RecommendedPFC) leave exactly
+			// C·τ_budget headroom per channel, so the envelope is the
+			// buffer itself and losslessness needs the budget to cover
+			// the actual latency.
+			p.MaxOccupancy = B
+			p.Lossless = !in.Faulted && tauBudget >= tauActual
+		}
+		p.DeadlockFree = acyclic
+	case CBFC:
+		// Credits never overcommit the buffer: the receiver only grants
+		// what fits, so occupancy is buffer-bounded and no drop is
+		// possible — but a zero credit balance stops a channel outright.
+		p.MaxOccupancy = B
+		p.Lossless = !in.Faulted
+		p.DeadlockFree = acyclic
+	case BFC:
+		// Per-queue XOFF/XON are derived from the channel parameters the
+		// way PFC's are (queue-fold aware), so the class-level envelope
+		// is the buffer and losslessness needs the τ budget to hold.
+		p.MaxOccupancy = B
+		p.Lossless = !in.Faulted && tauBudget >= tauActual
+		p.DeadlockFree = acyclic
+	case GFCBuffer:
+		bm := in.Params.Bm
+		if bm == 0 {
+			bm = B - 4*mtu
+		}
+		// The installed runtime ceiling: B_m plus the four-MTU headroom
+		// the factories budget for the deepest stage's positive trickle
+		// during one feedback latency, clamped to the buffer. A faulted
+		// feedback path (lost or forged stage updates) voids the ceiling,
+		// leaving only the physical buffer.
+		p.MaxOccupancy = B
+		if !in.Faulted {
+			p.MaxOccupancy = minSize(bm+4*mtu, B)
+		}
+		b1 := in.Params.B1
+		if b1 == 0 {
+			b1 = core.BufferBasedB1Bound(bm, maxCap, tauBudget)
+		}
+		safeB1 := core.BufferBasedB1Bound(bm, maxCap, tauActual)
+		p.Lossless = !in.Faulted && bm+4*mtu <= B && b1 > 0 && b1 <= safeB1
+		if bm > 0 && b1 > 0 && b1 < bm {
+			if st, err := core.NewStageTableRatio(maxCap, bm, b1, 0.5); err == nil {
+				p.FloorRate = st.StageRate(st.Stages())
+			}
+		}
+		// The stage table's deepest rate is positive by construction, so
+		// every dependency cycle keeps draining (Bouillard stability).
+		p.DeadlockFree = true
+	case GFCTime:
+		bm := in.Params.Bm
+		if bm == 0 {
+			bm = B - 4*mtu
+		}
+		// As with GFC-buffer: the ceiling holds only while rate feedback
+		// arrives intact.
+		p.MaxOccupancy = B
+		if !in.Faulted {
+			p.MaxOccupancy = minSize(bm+4*mtu, B)
+		}
+		period := in.Params.Period
+		if period <= 0 {
+			period = flowcontrol.RecommendedCBFCPeriod(maxCap)
+		}
+		b0 := in.Params.B0
+		if b0 == 0 && bm > 0 {
+			b0 = core.TimeBasedB0Bound(bm, maxCap, tauBudget, period)
+		}
+		safeB0 := units.Size(0)
+		if bm > 0 {
+			safeB0 = core.TimeBasedB0Bound(bm, maxCap, tauActual, period)
+		}
+		p.Lossless = !in.Faulted && bm+4*mtu <= B && b0 > 0 && b0 <= safeB0
+		// The Rate Adjuster clamps at a positive minimum rate instead of
+		// zero (flowcontrol's 8 Kb/s default).
+		p.FloorRate = 8 * units.Kbps
+		p.DeadlockFree = true
+	case GFCConceptual:
+		bm := in.Params.Bm
+		if bm == 0 {
+			bm = B // the conceptual factory's default
+		}
+		// The continuous mapping reaches rate zero at B_m, so the queue
+		// can overshoot it by a feedback latency of in-flight data (a
+		// faulted feedback path voids that bound).
+		p.MaxOccupancy = B
+		if !in.Faulted {
+			p.MaxOccupancy = minSize(bm+inflight+2*mtu, B)
+		}
+		b0 := in.Params.B0
+		if b0 == 0 && bm > 0 {
+			b0 = core.ConceptualB0Bound(bm, maxCap, tauBudget)
+		}
+		b0ok := b0 > 0 && b0 <= core.ConceptualB0Bound(bm, maxCap, tauActual)
+		p.Lossless = !in.Faulted && bm <= B && b0ok
+		// Theorem 4.1: with B_0 ≤ B_m − 4Cτ the queue provably never
+		// reaches B_m, so the mapped rate never hits zero. Otherwise the
+		// scheme can stall a channel and only an acyclic CBD saves it.
+		p.DeadlockFree = (b0ok && !in.Faulted) || acyclic
+	default:
+		return nil, fmt.Errorf("analytic: unknown scheme %q", in.Scheme)
+	}
+
+	// Conservation: every delivered byte crossed some live host-attached
+	// link, each of which carries at most capacity × duration plus one
+	// packet already in flight at the horizon.
+	for _, h := range in.Topo.Hosts() {
+		for _, at := range in.Topo.Ports(h) {
+			if at.Link.Failed {
+				continue
+			}
+			p.MaxDelivered += units.BytesIn(at.Link.Capacity, in.Duration) + mtu
+		}
+	}
+
+	// Progress floor: a deadlock-free, unfaulted run with a horizon well
+	// past warmup must deliver something — the Bouillard positive-service
+	// argument gives every cycle channel at least FloorRate of drain, and
+	// acyclic schemes drain at line rate.
+	if p.DeadlockFree && !in.Faulted && in.Duration >= warmup {
+		p.MinDelivered = 1
+	}
+	return p, nil
+}
+
+func minSize(a, b units.Size) units.Size {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b units.Time) units.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -149,8 +149,8 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 				DCFITDeadlocked: res.DCFITDeadlocked,
 				DCFITAt:         res.DCFITAt,
 				Drops:           res.Drops,
-				Violations:   reg.Summary().Violations,
-				Delivered:    res.Delivered, MinFlow: res.MinFlow,
+				Violations:      reg.Summary().Violations,
+				Delivered:       res.Delivered, MinFlow: res.MinFlow,
 				SteadyRate: res.SteadyRate,
 			}
 			cell.FaultsInjected = reg.FaultsInjected()

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/scenario"
@@ -86,7 +88,9 @@ func caseStudySpec(cfg CaseStudyConfig) scenario.Spec {
 		Workload: scenario.WorkloadSpec{Flows: flows},
 		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
 		Sim:      scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
-		Run:      scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+		Run: scenario.RunSpec{
+			DurationNs: cfg.Duration, DetectDeadlock: true, Analytic: true,
+		},
 	}
 }
 
@@ -160,6 +164,9 @@ func RunCaseStudy(cfg CaseStudyConfig) (*CaseStudyResult, units.Rate, error) {
 		res.VictimRate = victimRate
 		res.VictimTotal = victim.Delivered
 		res.VictimProgressed = victim.Delivered > victimBase
+	}
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, victimRate, fmt.Errorf("fig12 %v: %w", cfg.FC, err)
 	}
 	return res, victimRate, nil
 }

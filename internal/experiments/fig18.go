@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
@@ -58,7 +60,9 @@ func RunEvolution(cfg EvolutionConfig) (*EvolutionResult, error) {
 		Routing:  scenario.RoutingSpec{Policy: "spf"},
 		Workload: scenario.WorkloadSpec{Generator: &scenario.GeneratorSpec{Dist: "enterprise", Seed: cfg.Workload}},
 		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
-		Run:      scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+		Run: scenario.RunSpec{
+			DurationNs: cfg.Duration, DetectDeadlock: true, Analytic: true,
+		},
 	}
 	tp := stats.NewBinCounter(100 * units.Microsecond)
 	sim, err := scenario.Build(spec, &scenario.Overrides{
@@ -89,5 +93,8 @@ func RunEvolution(cfg EvolutionConfig) (*EvolutionResult, error) {
 		bytes += b
 	}
 	res.FinalRate = units.RateOf(bytes, units.Time(len(bins)-start)*tp.Width)
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, fmt.Errorf("fig18 %v: %w", cfg.FC, err)
+	}
 	return res, nil
 }

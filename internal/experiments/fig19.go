@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/metrics"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
@@ -45,7 +47,7 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		Routing:  scenario.RoutingSpec{Policy: "spf"},
 		Workload: scenario.WorkloadSpec{Generator: &scenario.GeneratorSpec{Dist: "enterprise", Seed: cfg.Seed}},
 		Scheme:   scenario.SchemeSpec{FC: cfg.FC, Preset: "sim"},
-		Run:      scenario.RunSpec{DurationNs: cfg.Duration},
+		Run:      scenario.RunSpec{DurationNs: cfg.Duration, Analytic: true},
 	}
 	// Per-channel feedback wire bytes come straight off the metrics
 	// registry: the run is stepped one bin at a time and each channel's
@@ -91,5 +93,8 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	res.Mean = res.CDF.Mean()
 	res.P99 = res.CDF.Quantile(0.99)
 	res.Max = res.CDF.Max()
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, fmt.Errorf("fig19 %v: %w", cfg.FC, err)
+	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/dcqcn"
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/scenario"
@@ -52,7 +54,7 @@ func RunFig20(duration units.Time) (*Fig20Result, error) {
 			BufferBytes: simCfg.BufferSize,
 			ECNBytes:    40 * units.KB,
 		},
-		Run: scenario.RunSpec{DurationNs: duration},
+		Run: scenario.RunSpec{DurationNs: duration, Analytic: true},
 	}
 	res := &Fig20Result{
 		Queue:     &stats.Series{},
@@ -100,5 +102,8 @@ func RunFig20(duration units.Time) (*Fig20Result, error) {
 	net.Run(duration)
 	res.FinalDCQCN = units.Rate(res.DCQCNRate.MeanAfter(duration * 3 / 4))
 	res.Drops = net.Drops()
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, fmt.Errorf("fig20: %w", err)
+	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/netsim"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
@@ -61,7 +63,7 @@ func RunFig5(fc FC, duration units.Time) (*Fig5Result, error) {
 			// ProcDelay).
 			ProcDelayNs: 23950 * units.Nanosecond,
 		},
-		Run: scenario.RunSpec{DurationNs: duration},
+		Run: scenario.RunSpec{DurationNs: duration, Analytic: true},
 	}
 
 	res := &Fig5Result{FC: fc, Queue: &stats.Series{}, Rate: &stats.Series{}}
@@ -95,5 +97,8 @@ func RunFig5(fc FC, duration units.Time) (*Fig5Result, error) {
 	}
 	res.SteadyQueue = units.Size(res.Queue.MeanAfter(duration * 3 / 4))
 	res.Drops = net.Drops()
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, fmt.Errorf("fig5 %v: %w", fc, err)
+	}
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/metrics"
@@ -25,7 +27,7 @@ type RingResult struct {
 	DCFITDeadlocked bool
 	DCFITAt         units.Time
 	Queue           *stats.Series // ingress S1←H1 occupancy
-	Rate         *stats.Series // H1's achieved input rate, 100 µs bins
+	Rate            *stats.Series // H1's achieved input rate, 100 µs bins
 	// SteadyQueue / SteadyRate average the final quarter of the run
 	// (≈840 KB / 5 Gb/s for buffer-based GFC in the paper's testbed,
 	// ≈745 KB / 5 Gb/s for time-based).
@@ -104,7 +106,10 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 			Params: scenario.FCParams{Refresh: cfg.Refresh},
 		},
 		Sim: scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
-		Run: scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true, Detector: cfg.Detector},
+		Run: scenario.RunSpec{
+			DurationNs: cfg.Duration, DetectDeadlock: true,
+			Detector: cfg.Detector, Analytic: true,
+		},
 	}
 	if cfg.Tau > 0 {
 		// Tau ablation: re-derive the GFC thresholds for the new τ so
@@ -184,6 +189,9 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 			res.DCFITDeadlocked = true
 			res.DCFITAt = rep.At
 		}
+	}
+	if err := sim.CheckAnalytic(); err != nil {
+		return res, fmt.Errorf("fig9 %v: %w", cfg.FC, err)
 	}
 	return res, nil
 }

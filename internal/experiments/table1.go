@@ -52,6 +52,43 @@ type SweepConfig struct {
 	// cells are recorded as they complete and a resumed sweep (same
 	// SweepKey) replays them instead of recomputing.
 	Checkpoint string
+	// Analytic enforces the network-wide analytic checker on every repeat
+	// (internal/analytic): each run is verified against its topology's
+	// occupancy envelope, throughput band and losslessness/progress
+	// verdict, the verdict is recorded in the cell's ScenarioResults, and
+	// a violated repeat quarantines its cell. Part of the SweepKey: runs
+	// with and without the checker do not share checkpoints.
+	Analytic bool
+}
+
+// supported fat-tree census: the arities the topology builder and its pinned
+// validation tests cover. The paper sweeps 4, 8 and 16; anything even up to
+// 32 (32768 hosts) stays within the validated construction.
+const (
+	minSweepK = 4
+	maxSweepK = 32
+)
+
+// Validate rejects a sweep configuration that would otherwise fail deep
+// inside the run (or silently compute nothing).
+func (cfg SweepConfig) Validate() error {
+	if cfg.K < minSweepK || cfg.K > maxSweepK || cfg.K%2 != 0 {
+		return fmt.Errorf("table1: K = %d outside the supported fat-tree census (even, %d ≤ K ≤ %d)",
+			cfg.K, minSweepK, maxSweepK)
+	}
+	if cfg.Networks <= 0 {
+		return fmt.Errorf("table1: Networks = %d; need at least one failure scenario", cfg.Networks)
+	}
+	if cfg.Repeats <= 0 {
+		return fmt.Errorf("table1: Repeats = %d; need at least one workload repetition per scenario", cfg.Repeats)
+	}
+	if cfg.FailureProb < 0 || cfg.FailureProb > 1 {
+		return fmt.Errorf("table1: FailureProb = %g outside [0, 1]", cfg.FailureProb)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("table1: Duration = %d; need a positive run horizon", cfg.Duration)
+	}
+	return nil
 }
 
 // DefaultSweep returns a CI-sized sweep for arity k: the paper's failure
@@ -83,6 +120,27 @@ type ScenarioResult struct {
 	// × time (one input to Figure 19).
 	FeedbackFraction float64
 	Drops            int64
+	// Analytic is the network-wide analytic verdict of the repeat, present
+	// when the sweep ran with SweepConfig.Analytic. It round-trips through
+	// the checkpoint store like every other field, so resumed and replayed
+	// cells carry the identical verdict.
+	Analytic *AnalyticVerdict `json:"analytic,omitempty"`
+}
+
+// AnalyticVerdict records what the analytic model predicted for one repeat
+// and the aggregates it was checked against (the check itself passed — a
+// violated repeat quarantines its cell instead of producing a result).
+type AnalyticVerdict struct {
+	DeadlockFree bool `json:"deadlock_free"`
+	Lossless     bool `json:"lossless"`
+	// MaxOccupancy is the predicted per-channel envelope; HighWater the
+	// observed switch-channel maximum (HighWater ≤ MaxOccupancy held).
+	MaxOccupancy units.Size `json:"max_occupancy"`
+	HighWater    units.Size `json:"high_water"`
+	// MaxDelivered is the aggregate throughput bound; Delivered the
+	// observed total (Delivered ≤ MaxDelivered held).
+	MaxDelivered units.Size `json:"max_delivered"`
+	Delivered    units.Size `json:"delivered"`
 }
 
 // SweepResult aggregates one scheme over one scale.
@@ -100,6 +158,10 @@ type SweepResult struct {
 	Bandwidth stats.CDF
 	Slowdown  stats.CDF
 	Drops     int64
+	// AnalyticChecked counts repeats that carried (and passed) the
+	// network-wide analytic check — Networks × Repeats of the CBD-prone
+	// cells when SweepConfig.Analytic is on and nothing was quarantined.
+	AnalyticChecked int
 	// Failures lists the quarantined cells (budget-blown, deadline-blown
 	// or panicked scenarios), in job order. The sweep's aggregates cover
 	// the surviving cells; a non-empty list means the sweep is incomplete
@@ -164,13 +226,20 @@ func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Tabl
 		}},
 		Scheme: scenario.SchemeSpec{FC: fc, Preset: "sim"},
 		Sim:    scenario.SimSpec{Scheduling: cfg.Scheduling.String()},
-		Run:    scenario.RunSpec{DurationNs: cfg.Duration, DetectDeadlock: true},
+		Run: scenario.RunSpec{
+			DurationNs: cfg.Duration, DetectDeadlock: true,
+			Analytic: cfg.Analytic,
+		},
 	}
 	// The metrics registry supplies the feedback-byte accounting the
 	// bespoke Trace closure used to keep.
 	reg := metrics.New(metrics.Options{})
+	// Every simulated cell passed the CBD pre-filter, so the dependency
+	// verdict is cyclic by construction — hand it to the analytic
+	// predictor instead of recomputing the all-pairs graph per repeat.
+	cyclic := true
 	sim, err := scenario.Build(spec, &scenario.Overrides{
-		Topo: topo, Table: tab, Metrics: reg,
+		Topo: topo, Table: tab, Metrics: reg, CBDCyclic: &cyclic,
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +273,24 @@ func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Tabl
 	if capBits > 0 {
 		res.FeedbackFraction = float64(reg.Summary().FeedbackWire.Bits()) / capBits
 	}
+	if cfg.Analytic {
+		pred, verr := sim.VerifyAnalytic(&scenario.Result{
+			End:        net.Now(),
+			Delivered:  net.TotalDelivered(),
+			Deadlocked: res.Deadlocked,
+		})
+		if verr != nil {
+			return nil, fmt.Errorf("analytic check: %w", verr)
+		}
+		res.Analytic = &AnalyticVerdict{
+			DeadlockFree: pred.DeadlockFree,
+			Lossless:     pred.Lossless,
+			MaxOccupancy: pred.MaxOccupancy,
+			HighWater:    reg.SwitchHighWater(),
+			MaxDelivered: pred.MaxDelivered,
+			Delivered:    net.TotalDelivered(),
+		}
+	}
 	return res, nil
 }
 
@@ -223,9 +310,15 @@ type scenarioOutcome struct {
 // cell safe to replay. Runtime knobs (workers, budgets, checkpoint path)
 // deliberately stay out: they change how cells run, not what they compute.
 func SweepKey(fc FC, cfg SweepConfig) string {
-	return fmt.Sprintf("table1/fc=%v/k=%d/n=%d/r=%d/p=%g/d=%d/seed=%d/sched=%s/fph=%d",
+	key := fmt.Sprintf("table1/fc=%v/k=%d/n=%d/r=%d/p=%g/d=%d/seed=%d/sched=%s/fph=%d",
 		fc, cfg.K, cfg.Networks, cfg.Repeats, cfg.FailureProb,
 		int64(cfg.Duration), cfg.Seed, cfg.Scheduling.String(), cfg.FlowsPerHost)
+	if cfg.Analytic {
+		// Appended only when on, so checkpoints recorded before the
+		// checker existed keep their identity for plain sweeps.
+		key += "/analytic=1"
+	}
+	return key
 }
 
 // seedOf is the base RNG seed of scenario i, recorded in checkpoint entries.
@@ -248,6 +341,9 @@ func (cfg SweepConfig) seedOf(i int) int64 { return cfg.Seed + int64(i) }
 // cancelled cells are neither aggregated, quarantined nor checkpointed, so
 // a resume re-runs exactly those.
 func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	jobs := make([]runner.Job[*scenarioOutcome], cfg.Networks)
 	for i := 0; i < cfg.Networks; i++ {
 		i := i
@@ -304,6 +400,9 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 		dead := false
 		for _, res := range sc.Repeats {
 			out.Drops += res.Drops
+			if res.Analytic != nil {
+				out.AnalyticChecked++
+			}
 			if res.Deadlocked {
 				dead = true
 			} else {

@@ -74,6 +74,22 @@ func (r *Registry) Summary() Summary {
 	return s
 }
 
+// SwitchHighWater returns the maximum occupancy high-water mark over the
+// switch ingress channels (host channels excluded) — the quantity the
+// network-wide analytic envelope bounds (NetworkBounds.MaxOccupancy).
+func (r *Registry) SwitchHighWater() units.Size {
+	var hw units.Size
+	for i := range r.counters {
+		if r.chans[i].Host {
+			continue
+		}
+		if c := r.counters[i].HighWater; c > hw {
+			hw = c
+		}
+	}
+	return hw
+}
+
 // SeriesDump is an exported occupancy series.
 type SeriesDump struct {
 	T []units.Time `json:"t_ns"`

@@ -31,6 +31,26 @@ const (
 	// ViolationStageTable: a channel's stage table failed monotonicity
 	// validation (thresholds not ascending or rates increasing).
 	ViolationStageTable
+	// The network-wide kinds below are produced only by CheckNetwork —
+	// end-of-run assertions against an analytic prediction, never recorded
+	// into the registry. New kinds must keep being appended here so the
+	// numeric values of existing ones stay stable.
+
+	// ViolationNetOccupancy: a switch channel's high-water mark exceeded
+	// the analytic occupancy envelope for the run's scheme.
+	ViolationNetOccupancy
+	// ViolationNetThroughput: total delivered bytes exceeded the analytic
+	// aggregate throughput bound (host link capacity × duration).
+	ViolationNetThroughput
+	// ViolationNetProgress: total delivered bytes fell below the analytic
+	// progress floor of a run predicted deadlock-free.
+	ViolationNetProgress
+	// ViolationNetLoss: a run the analysis predicted lossless dropped
+	// packets.
+	ViolationNetLoss
+	// ViolationNetDeadlock: a run the analysis predicted deadlock-free
+	// was convicted by its deadlock detector.
+	ViolationNetDeadlock
 )
 
 func (k ViolationKind) String() string {
@@ -45,6 +65,16 @@ func (k ViolationKind) String() string {
 		return "stage-range"
 	case ViolationStageTable:
 		return "stage-table"
+	case ViolationNetOccupancy:
+		return "net-occupancy"
+	case ViolationNetThroughput:
+		return "net-throughput"
+	case ViolationNetProgress:
+		return "net-progress"
+	case ViolationNetLoss:
+		return "net-loss"
+	case ViolationNetDeadlock:
+		return "net-deadlock"
 	default:
 		return fmt.Sprintf("violation(%d)", uint8(k))
 	}
@@ -75,6 +105,9 @@ type Violation struct {
 func (v Violation) String() string {
 	loc := fmt.Sprintf("%s port %d prio %d (from %s)", v.NodeName, v.Port, v.Prio, v.FromName)
 	switch v.Kind {
+	case ViolationNetThroughput, ViolationNetProgress, ViolationNetLoss, ViolationNetDeadlock:
+		return fmt.Sprintf("%v %s network-wide: %s (%d vs bound %d)",
+			v.At, v.Kind, v.Detail, int64(v.Occupancy), int64(v.Limit))
 	case ViolationStageRange:
 		return fmt.Sprintf("%v %s at %s: stage %d outside table (max %d)",
 			v.At, v.Kind, loc, int64(v.Occupancy), int64(v.Limit))
@@ -175,6 +208,101 @@ func ValidateStageTable(t *core.StageTable) error {
 		prevRate, prevThr = rate, thr
 	}
 	return nil
+}
+
+// NetworkBounds are the network-wide guarantees an analytic prediction
+// asserts over a finished run's registry aggregates. Zero-valued fields
+// disable their check, so a prediction only asserts what its model actually
+// guarantees (internal/analytic derives the values; DESIGN.md §3.8 maps each
+// field to its bound).
+type NetworkBounds struct {
+	// MaxOccupancy is the per-channel occupancy envelope: no switch
+	// ingress channel's high-water mark may exceed it. Host channels are
+	// exempt — host ingress "buffers" are nominally unbounded sinks with
+	// no flow-control semantics. Zero disables the check.
+	MaxOccupancy units.Size
+	// MaxDelivered bounds total delivered bytes from above (aggregate
+	// host link capacity × duration). Zero disables the check.
+	MaxDelivered units.Size
+	// MinDelivered is the progress floor of a run predicted deadlock-free:
+	// total delivered bytes must reach it. Zero disables the check.
+	MinDelivered units.Size
+	// Lossless asserts the run recorded zero drops.
+	Lossless bool
+	// DeadlockFree asserts the run's detector (if any) stayed silent.
+	// The registry cannot see detectors, so CheckNetwork takes the
+	// verdict as an argument.
+	DeadlockFree bool
+}
+
+// netViolationCap bounds how many per-channel envelope violations one
+// CheckNetwork call reports in full; the rest are only counted. It mirrors
+// the registry's own MaxViolations default.
+const netViolationCap = 64
+
+// CheckNetwork validates the end-of-run aggregates against b, returning nil
+// when every bound held or an *InvariantError in the same structured shape
+// the runtime checks produce. at is the run's end time, delivered its total
+// delivered bytes and deadlocked its detector verdict.
+//
+// Unlike the runtime checks, CheckNetwork records nothing into the registry:
+// Summary(), Violations() and Err() are unchanged, so attaching the
+// network-wide checker to a run cannot perturb outputs (golden traces,
+// fault-matrix violation columns) that fold the registry's own counts.
+func (r *Registry) CheckNetwork(b NetworkBounds, at units.Time, delivered units.Size, deadlocked bool) *InvariantError {
+	var e InvariantError
+	var drops int64
+	for idx := range r.chans {
+		ch := &r.chans[idx]
+		c := &r.counters[idx]
+		drops += c.Drops
+		if ch.Host || b.MaxOccupancy <= 0 || c.HighWater <= b.MaxOccupancy {
+			continue
+		}
+		if len(e.Violations) >= netViolationCap {
+			e.Truncated++
+			continue
+		}
+		v := Violation{
+			Kind: ViolationNetOccupancy, At: at,
+			Occupancy: c.HighWater, Limit: b.MaxOccupancy,
+			Detail: "high-water above analytic envelope",
+		}
+		v.Node, v.NodeName, v.Port, v.Prio = ch.Node, ch.NodeName, ch.Port, ch.Prio
+		v.From, v.FromName = ch.From, ch.FromName
+		e.Violations = append(e.Violations, v)
+	}
+	if b.MaxDelivered > 0 && delivered > b.MaxDelivered {
+		e.Violations = append(e.Violations, Violation{
+			Kind: ViolationNetThroughput, At: at,
+			Occupancy: delivered, Limit: b.MaxDelivered,
+			Detail: "total delivered above analytic throughput bound",
+		})
+	}
+	if b.MinDelivered > 0 && delivered < b.MinDelivered {
+		e.Violations = append(e.Violations, Violation{
+			Kind: ViolationNetProgress, At: at,
+			Occupancy: delivered, Limit: b.MinDelivered,
+			Detail: "total delivered below analytic progress floor",
+		})
+	}
+	if b.Lossless && drops > 0 {
+		e.Violations = append(e.Violations, Violation{
+			Kind: ViolationNetLoss, At: at,
+			Occupancy: units.Size(drops),
+			Detail:    "drops on a run predicted lossless",
+		})
+	}
+	if b.DeadlockFree && deadlocked {
+		e.Violations = append(e.Violations, Violation{
+			Kind: ViolationNetDeadlock, At: at,
+			Detail: "deadlock detected on a run predicted deadlock-free",
+		})
+	}
+	if len(e.Violations) == 0 && e.Truncated == 0 {
+		return nil
+	}
+	return &e
 }
 
 // CheckStageTable validates channel idx's stage table, recording a

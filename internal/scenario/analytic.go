@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/analytic"
+	"github.com/gfcsim/gfc/internal/cbd"
+	"github.com/gfcsim/gfc/internal/workload"
+)
+
+// AnalyticCheck is the network-wide analytic verdict attached to a Result
+// when Run.Analytic is set.
+type AnalyticCheck struct {
+	// Prediction is the per-topology analytic prediction the run was
+	// checked against (nil when the scenario could not be analysed).
+	Prediction *analytic.Prediction
+	// Err is nil when every asserted bound held. Otherwise it is either
+	// the *metrics.InvariantError listing the violated network-wide
+	// bounds, or the analysis error when the prediction itself failed.
+	Err error
+}
+
+// Predict computes the analytic prediction for this built scenario
+// (internal/analytic, DESIGN.md §3.8). The cyclic-buffer-dependency verdict
+// comes from Overrides.CBDCyclic when supplied (sweeps precompute it per
+// topology); otherwise it is derived once from the built workload — declared
+// flow paths, plus the all-inter-rack-pairs union when a generator is
+// attached — and cached on the Sim.
+func (s *Sim) Predict() (*analytic.Prediction, error) {
+	known, cyclic := s.cbdVerdict()
+	return analytic.Predict(analytic.Input{
+		Topo:   s.Topo,
+		Scheme: analytic.Scheme(s.Spec.Scheme.FC),
+		Cfg:    s.cfg,
+		Params: analytic.Params{
+			XOFF:   s.fp.XOFF,
+			XON:    s.fp.XON,
+			B1:     s.fp.B1,
+			Bm:     s.fp.Bm,
+			B0:     s.fp.B0,
+			Period: s.fp.Period,
+		},
+		CBDKnown:  known,
+		CBDCyclic: cyclic,
+		Faulted:   s.Injector != nil,
+		Duration:  s.Spec.Run.DurationNs,
+	})
+}
+
+// cbdVerdict resolves (and caches) the dependency-graph verdict.
+func (s *Sim) cbdVerdict() (known, cyclic bool) {
+	if s.cbdCyclic != nil {
+		return true, *s.cbdCyclic
+	}
+	if len(s.Flows) == 0 && s.Gen == nil {
+		return false, false // nothing to derive from: treated as cyclic
+	}
+	if s.Gen != nil && s.Table == nil {
+		return false, false
+	}
+	g := cbd.NewGraph(s.Topo)
+	for _, f := range s.Flows {
+		g.AddPath(f.Path)
+	}
+	if s.Gen != nil {
+		// A generator can start a flow between any inter-rack host pair,
+		// so fold in the union of all such paths — the conservative
+		// superset of what the run may route.
+		union := cbd.FromAllPairs(s.Topo, s.Table, workload.EdgeRacks(s.Topo))
+		c := g.HasCycle() || union.HasCycle()
+		s.cbdCyclic = &c
+		return true, c
+	}
+	c := g.HasCycle()
+	s.cbdCyclic = &c
+	return true, c
+}
+
+// VerifyAnalytic checks res against this scenario's analytic prediction,
+// returning the prediction and the verdict: nil when every network-wide
+// bound held, a *metrics.InvariantError otherwise. A governed run that was
+// stopped early (res.Stopped != nil) drops the progress floor — the horizon
+// the floor reasons about was never reached.
+func (s *Sim) VerifyAnalytic(res *Result) (*analytic.Prediction, error) {
+	pred, err := s.Predict()
+	if err != nil {
+		return nil, err
+	}
+	if s.Metrics == nil {
+		return pred, fmt.Errorf("scenario: analytic check needs a metrics registry (set run.analytic or attach one via Overrides)")
+	}
+	b := pred.Bounds()
+	if res.Stopped != nil {
+		b.MinDelivered = 0
+	}
+	if ierr := s.Metrics.CheckNetwork(b, res.End, res.Delivered, res.Deadlocked); ierr != nil {
+		return pred, ierr
+	}
+	return pred, nil
+}
+
+// analyticCheck wraps VerifyAnalytic into the Result attachment.
+func (s *Sim) analyticCheck(res *Result) *AnalyticCheck {
+	pred, err := s.VerifyAnalytic(res)
+	return &AnalyticCheck{Prediction: pred, Err: err}
+}
+
+// CheckAnalytic runs the network-wide analytic check against the network's
+// current state — the entry point for drivers that step the engine
+// themselves instead of calling Run/RunBounded. It returns nil when every
+// bound held.
+func (s *Sim) CheckAnalytic() error {
+	return s.analyticCheck(s.summarise()).Err
+}

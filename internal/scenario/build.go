@@ -39,6 +39,12 @@ type Overrides struct {
 	// OnFlow runs for each declared flow after construction and before
 	// AddFlow — the hook congestion-control attachments (DCQCN) need.
 	OnFlow func(*netsim.Flow, *netsim.Network) error
+	// CBDCyclic, when non-nil, supplies a precomputed cyclic-buffer-
+	// dependency verdict for the analytic checker (true: the workload's
+	// paths can close a dependency cycle). Sweeps compute the CBD graph
+	// once per generated topology and pass the verdict here; nil lets
+	// Sim.Predict derive it from the built workload.
+	CBDCyclic *bool
 }
 
 // Sim is a built, ready-to-run scenario: the network plus handles to every
@@ -58,6 +64,15 @@ type Sim struct {
 	DCFIT    *deadlock.DCFIT
 	Injector *faults.Injector
 	Metrics  *metrics.Registry
+
+	// cfg and fp are the resolved simulator configuration and scheme
+	// thresholds Build compiled the network from — the analytic
+	// predictor's input.
+	cfg netsim.Config
+	fp  FCParams
+	// cbdCyclic caches the dependency-graph verdict (from the override or
+	// a lazy computation in Predict).
+	cbdCyclic *bool
 }
 
 // probe returns the detector driving the run's stop condition and summary
@@ -107,7 +122,7 @@ func Build(spec Spec, ov *Overrides) (*Sim, error) {
 	if err := spec.Workload.validate(); err != nil {
 		return nil, err
 	}
-	cfg, err := spec.simConfig()
+	cfg, fp, err := spec.simConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +130,13 @@ func Build(spec Spec, ov *Overrides) (*Sim, error) {
 		cfg.Trace = ov.Trace(topo)
 	}
 	cfg.Metrics = ov.Metrics
+	if spec.Run.Analytic && cfg.Metrics == nil {
+		// The analytic checker consumes end-of-run registry aggregates;
+		// attach a counters-only registry when the caller brought none.
+		// Registries are passive observers, so this cannot change the
+		// event sequence.
+		cfg.Metrics = metrics.New(metrics.Options{})
+	}
 
 	plan := ov.FaultPlan
 	faultSeed := ov.FaultSeed
@@ -148,7 +170,8 @@ func Build(spec Spec, ov *Overrides) (*Sim, error) {
 	}
 	sim := &Sim{
 		Spec: spec, Topo: topo, Table: tab, Net: net,
-		Injector: inj, Metrics: ov.Metrics,
+		Injector: inj, Metrics: cfg.Metrics,
+		cfg: cfg, fp: fp, cbdCyclic: ov.CBDCyclic,
 	}
 
 	if err := sim.addFlows(ov); err != nil {
@@ -222,6 +245,11 @@ type Result struct {
 	// reached its declared end. The summary fields above still describe
 	// the partial run up to the stop point.
 	Stopped *netsim.RunError
+	// Analytic carries the network-wide analytic verdict when
+	// Run.Analytic was set (nil otherwise). Run and RunBounded fill it
+	// after Stopped is known — early-stopped runs drop the progress
+	// floor.
+	Analytic *AnalyticCheck
 }
 
 // Run executes the built scenario to its declared duration (honouring
@@ -255,7 +283,7 @@ func (s *Sim) Run() *Result {
 		s.Net.Run(d)
 	}
 
-	return s.summarise()
+	return s.finish(s.summarise())
 }
 
 // RunBounded is Run under the netsim run governor: ctx cancellation,
@@ -291,9 +319,9 @@ func (s *Sim) RunBounded(ctx context.Context, extra netsim.Budget) (*Result, err
 		if errors.As(err, &re) {
 			res.Stopped = re
 		}
-		return res, err
+		return s.finish(res), err
 	}
-	return res, nil
+	return s.finish(res), nil
 }
 
 // summarise collects the run's verdict from the network and subsystems.
@@ -323,6 +351,15 @@ func (s *Sim) summarise() *Result {
 	}
 	if s.Injector != nil {
 		res.FaultStats = s.Injector.Stats()
+	}
+	return res
+}
+
+// finish attaches the analytic verdict once res is complete (Stopped set),
+// when the spec asked for it and a registry is bound.
+func (s *Sim) finish(res *Result) *Result {
+	if s.Spec.Run.Analytic && s.Metrics != nil {
+		res.Analytic = s.analyticCheck(res)
 	}
 	return res
 }
@@ -426,13 +463,15 @@ func (s *Spec) needsRouting() bool {
 }
 
 // simConfig composes the netsim.Config from the scheme preset and Sim
-// overrides, and resolves the flow-control factory.
-func (s *Spec) simConfig() (netsim.Config, error) {
+// overrides, resolves the flow-control factory, and returns the resolved
+// FCParams alongside (the analytic predictor consumes the same thresholds
+// the factories will install).
+func (s *Spec) simConfig() (netsim.Config, FCParams, error) {
 	if err := s.Scheme.validate(); err != nil {
-		return netsim.Config{}, err
+		return netsim.Config{}, FCParams{}, err
 	}
 	if err := s.Sim.validate(); err != nil {
-		return netsim.Config{}, err
+		return netsim.Config{}, FCParams{}, err
 	}
 	var cfg netsim.Config
 	var fp FCParams
@@ -474,7 +513,7 @@ func (s *Spec) simConfig() (netsim.Config, error) {
 	}
 	sched, err := parseScheduling(m.Scheduling)
 	if err != nil {
-		return netsim.Config{}, err
+		return netsim.Config{}, FCParams{}, err
 	}
 	cfg.Scheduling = sched
 	cfg.FlowControl = fp.Factory(s.Scheme.FC)
@@ -487,7 +526,7 @@ func (s *Spec) simConfig() (netsim.Config, error) {
 		}
 		cfg.FlowQueues = q
 	}
-	return cfg, nil
+	return cfg, fp, nil
 }
 
 // addFlows instantiates the pattern or declared flows, in order.

@@ -230,6 +230,12 @@ type RunSpec struct {
 	// unbounded flows) keep the queue non-empty, so Quiesce only
 	// terminates early for finite, detector-free workloads.
 	Quiesce bool `json:"quiesce,omitempty"`
+	// Analytic attaches the network-wide analytic checker: Build ensures
+	// a metrics registry is bound (attaching one if no override supplies
+	// it) and Run/RunBounded fill Result.Analytic with the prediction and
+	// the end-of-run verdict (internal/analytic, DESIGN.md §3.8). The
+	// check is post-run only — it never perturbs the event sequence.
+	Analytic bool `json:"analytic,omitempty"`
 }
 
 // Parse decodes a Spec from JSON, rejecting unknown fields, and validates it.
