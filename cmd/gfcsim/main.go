@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -70,6 +71,10 @@ var (
 		"sweeps: enforce the network-wide analytic checker on every repeat\n(internal/analytic; violated repeats quarantine their cell; changes the\ncheckpoint key)")
 	table1Scale = flag.String("table1-scale", "",
 		"table1: preset overriding the count flags — \"ci\" (k=4, 200 networks × 1\nrepeat, checker on: the CI gate) or \"full\" (paper scale: 10000 networks ×\n100 repeats, 1 flow/host, checker on; run with -checkpoint, see\nEXPERIMENTS.md)")
+	backendName = flag.String("backend", "",
+		"simulation backend for -scenario and the sweeps: \"packet\" (default;\nreplays every packet), \"fluid\" (network-of-queues rate integration —\norders of magnitude faster, rejects specs it cannot represent faithfully)\nor \"auto\" (fluid where faithful, packet otherwise; sweeps additionally\nre-run cells near the analytic envelope at packet fidelity)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 )
 
 // ctx is cancelled on SIGINT/SIGTERM so runs stop at the next governor check,
@@ -106,16 +111,72 @@ func exitCode(err error) int {
 }
 
 // finish flushes the metrics sink (even after a failed run, so an interrupted
-// sweep still writes its partial report) and exits accordingly.
+// sweep still writes its partial report), stops any requested profiles —
+// finish may os.Exit, so deferred stops would be skipped — and exits
+// accordingly.
 func finish(err error) {
 	if ferr := sink.flush(); err == nil {
 		err = ferr
+	}
+	if perr := stopProfiles(); err == nil {
+		err = perr
 	}
 	if err == nil {
 		return
 	}
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(exitCode(err))
+}
+
+// cpuProfileFile is the open -cpuprofile sink while profiling is running.
+var cpuProfileFile *os.File
+
+// startProfiles starts the -cpuprofile collection; -memprofile is written at
+// stop time.
+func startProfiles() error {
+	if *cpuProfile == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	cpuProfileFile = f
+	return nil
+}
+
+// stopProfiles stops the CPU profile and snapshots the heap (after a GC, so
+// the profile reflects live memory, not garbage). Idempotent: finish may run
+// on both the scenario and the experiment path.
+func stopProfiles() error {
+	var err error
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		err = cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			return err
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		*memProfile = ""
+	}
+	return err
 }
 
 // sink gathers the per-run metrics registries when -metrics-out is set; nil
@@ -128,7 +189,11 @@ func main() {
 		fmt.Println("Registered scenarios (run with -scenario <name>):")
 		for _, name := range scenario.Names() {
 			s, _ := scenario.Get(name)
-			fmt.Printf("  %-28s %5d hosts  %s\n", name, s.Topology.HostCount(), s.Description)
+			be := "packet"
+			if (scenario.FluidBackend{}).Supports(&s) == nil {
+				be = "packet+fluid"
+			}
+			fmt.Printf("  %-28s %5d hosts  %-12s  %s\n", name, s.Topology.HostCount(), be, s.Description)
 		}
 		return
 	}
@@ -144,6 +209,10 @@ func main() {
 	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	sink = newMetricsSink(*metricsOut)
+	if err := startProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 	if *scenarioName != "" {
 		finish(runScenario())
 		return
@@ -202,22 +271,31 @@ func runScenario() error {
 	if *duration > 0 {
 		spec.Run.DurationNs = units.Time(*duration)
 	}
+	if *backendName != "" {
+		spec.Sim.Backend = *backendName
+	}
 	reg := sink.registry()
-	sim, err := scenario.Build(spec, &scenario.Overrides{Metrics: reg})
+	sim, err := scenario.BuildBackend(spec, &scenario.Overrides{Metrics: reg})
 	if err != nil {
 		return err
 	}
 	res, rerr := sim.RunBounded(ctx, flagBudget())
+	if res == nil {
+		return rerr
+	}
 	sink.record(spec.Name, reg, res.End)
 
 	fmt.Printf("scenario %s (%s)\n", spec.Name, spec.Scheme.FC)
 	if spec.Description != "" {
 		fmt.Printf("  %s\n", spec.Description)
 	}
+	if res.Backend != "" && res.Backend != "packet" {
+		fmt.Printf("  backend: %s\n", res.Backend)
+	}
 	verdict := "no deadlock"
 	if res.Deadlocked {
 		verdict = fmt.Sprintf("DEADLOCK (%v) at %v", res.DeadlockKind, res.DeadlockAt)
-	} else if sim.Detector == nil {
+	} else if ps, ok := sim.(*scenario.Sim); ok && ps.Detector == nil {
 		verdict = "deadlock detection off"
 	}
 	fmt.Printf("  ran to %v: %s\n", res.End, verdict)
@@ -492,6 +570,7 @@ func runSweep(which string) error {
 		cfg.JobTimeout = *jobTimeout
 		cfg.Checkpoint = *checkpoint
 		cfg.Analytic = *analytic
+		cfg.Backend = *backendName
 		switch *table1Scale {
 		case "ci":
 			// The CI gate: a k=4 slice with the checker enforced, small

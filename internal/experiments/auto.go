@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/gfcsim/gfc/internal/analytic"
+	"github.com/gfcsim/gfc/internal/fluid"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/routing"
+	"github.com/gfcsim/gfc/internal/scenario"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// This file is the adaptive-fidelity side of the Table 1 sweep: repeats are
+// triaged with the fluid network solver (three-plus orders of magnitude
+// fewer state updates than packet simulation) and re-run at packet level
+// only when the cell sits near an analytic boundary, where the fluid
+// verdict cannot be trusted on its own.
+
+// fluidSweepBackend compiles sweep repeats for the fluid solver. The
+// generator stand-in is enabled: sweep workloads are random enterprise
+// traffic, and the stand-in's persistent saturating flows upper-bound the
+// congestion the generator can create — the right polarity for triage,
+// which must never under-estimate occupancy.
+var fluidSweepBackend = scenario.FluidBackend{RenderGenerator: true}
+
+// Escalation reasons, pinned by the golden escalation test: each names the
+// analytic boundary that forced the packet re-run.
+const (
+	escalateUnsupported = "fluid-unsupported scheme"
+	escalateCyclic      = "deadlock-capable scheme on cyclic CBD"
+	escalateFailed      = "fluid run failed"
+	escalateDeadlock    = "fluid deadlock contradicts analytic deadlock-freedom"
+	escalateLoss        = "fluid loss contradicts analytic losslessness"
+	escalateBoundary    = "occupancy within tolerance band of analytic envelope"
+)
+
+// cellBand is the differential tolerance band of one sweep cell: fluid.Band
+// at the topology's fastest live link and the sweep MTU (the sim preset's
+// 1500 B default).
+func cellBand(topo *topology.Topology) units.Size {
+	var maxCap units.Rate
+	for i := 0; i < topo.NumLinks(); i++ {
+		l := topo.Link(topology.LinkID(i))
+		if !l.Failed && l.Capacity > maxCap {
+			maxCap = l.Capacity
+		}
+	}
+	return fluid.Band(maxCap, 1500*units.Byte)
+}
+
+// buildFluidRepeat compiles one repeat for the fluid solver and returns the
+// runner plus its analytic prediction (computable before the run).
+func buildFluidRepeat(topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (scenario.Runner, *analytic.Prediction, error) {
+	spec := sweepSpec(fc, cfg, repeatSeed)
+	// Triage integrates at 2 µs: the sweep dynamics (τ ≥ 12 µs) are far
+	// slower, and any cell the coarse step puts near the envelope is
+	// re-run at packet fidelity anyway.
+	spec.Sim.FluidStepNs = 2 * units.Microsecond
+	if err := fluidSweepBackend.Supports(&spec); err != nil {
+		return nil, nil, err
+	}
+	reg := metrics.New(metrics.Options{})
+	cyclic := true // every simulated cell passed the CBD pre-filter
+	r, err := fluidSweepBackend.Build(spec, &scenario.Overrides{
+		Topo: topo, Table: tab, Metrics: reg, CBDCyclic: &cyclic,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := r.(scenario.Predictor).Predict()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, pred, nil
+}
+
+// finishFluidRepeat runs a compiled fluid repeat and translates the result
+// into sweep terms. Slowdown samples stay empty (the stand-in's flows are
+// unbounded, so there are no completion times) and FeedbackFraction stays
+// zero (the solver models feedback as a latency, not as wire bytes) —
+// documented in EXPERIMENTS.md alongside the aggregates that therefore only
+// cover packet-produced repeats.
+func finishFluidRepeat(ctx context.Context, r scenario.Runner, pred *analytic.Prediction, topo *topology.Topology, cfg SweepConfig) (*ScenarioResult, error) {
+	sres, err := r.RunBounded(ctx, cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{
+		Backend:    "fluid",
+		Deadlocked: sres.Deadlocked,
+		DeadlockAt: sres.DeadlockAt,
+		Drops:      sres.Drops,
+		HighWater:  sres.HighWater,
+	}
+	hosts := len(topo.Hosts())
+	if hosts > 0 {
+		res.HostBandwidth = units.RateOf(sres.Delivered, cfg.Duration) / units.Rate(hosts)
+	}
+	if cfg.Analytic {
+		if sres.Analytic == nil {
+			return nil, fmt.Errorf("fluid repeat carried no analytic check")
+		}
+		if sres.Analytic.Err != nil {
+			return res, fmt.Errorf("analytic check: %w", sres.Analytic.Err)
+		}
+		res.Analytic = &AnalyticVerdict{
+			DeadlockFree: pred.DeadlockFree,
+			Lossless:     pred.Lossless,
+			MaxOccupancy: pred.MaxOccupancy,
+			HighWater:    sres.HighWater,
+			MaxDelivered: pred.MaxDelivered,
+			Delivered:    sres.Delivered,
+		}
+	}
+	return res, nil
+}
+
+// RunScenarioFluid executes one workload repetition on the fluid backend —
+// the pure-fluid counterpart of RunScenario. The scheme must be
+// fluid-representable (RunSweep pre-checks this for fluid-mode sweeps).
+func RunScenarioFluid(ctx context.Context, topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
+	r, pred, err := buildFluidRepeat(topo, tab, fc, cfg, repeatSeed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := finishFluidRepeat(ctx, r, pred, topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runAutoRepeat is the adaptive-fidelity repeat: fluid triage, escalated to
+// a packet re-run at any analytic boundary. On every escalation where the
+// fluid pass produced a result, the differential tolerance band is enforced
+// as a runtime invariant — the packet occupancy may not exceed the fluid
+// (saturating, hence upper-bounding) occupancy by more than the band; a
+// violation means the two engines disagree about the same network and
+// quarantines the cell rather than aggregating either answer.
+func runAutoRepeat(ctx context.Context, topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
+	escalate := func(reason string, fres *ScenarioResult) (*ScenarioResult, error) {
+		pres, err := RunScenario(ctx, topo, tab, fc, cfg, repeatSeed)
+		if err != nil {
+			return nil, err
+		}
+		pres.Backend = "packet"
+		pres.Escalation = reason
+		if fres != nil {
+			band := cellBand(topo)
+			if pres.HighWater > fres.HighWater+band {
+				return nil, fmt.Errorf(
+					"backend divergence on escalation %q: packet high-water %v exceeds fluid %v by more than the tolerance band %v",
+					reason, pres.HighWater, fres.HighWater, band)
+			}
+			if pres.Deadlocked && !fres.Deadlocked && reason == escalateBoundary {
+				return nil, fmt.Errorf(
+					"backend divergence on escalation %q: packet deadlocked at %v but fluid saw progress",
+					reason, pres.DeadlockAt)
+			}
+		}
+		return pres, nil
+	}
+
+	r, pred, err := buildFluidRepeat(topo, tab, fc, cfg, repeatSeed)
+	if err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return escalate(escalateUnsupported+": "+err.Error(), nil)
+	}
+	if !pred.DeadlockFree {
+		// The analytic model says this scheme can deadlock on a cyclic
+		// CBD. Deadlock formation is a packet-granular phenomenon (HOL
+		// blocking, pause cascades); the fluid solver's proportional
+		// sharing cannot decide it, so the repeat runs at full fidelity.
+		return escalate(escalateCyclic, nil)
+	}
+	fres, ferr := finishFluidRepeat(ctx, r, pred, topo, cfg)
+	if ferr != nil {
+		if errors.Is(ferr, context.Canceled) || errors.Is(ferr, context.DeadlineExceeded) {
+			return nil, ferr
+		}
+		return escalate(escalateFailed+": "+ferr.Error(), fres)
+	}
+	band := cellBand(topo)
+	switch {
+	case fres.Deadlocked:
+		return escalate(escalateDeadlock, fres)
+	case fres.Drops > 0 && pred.Lossless:
+		return escalate(escalateLoss, fres)
+	case pred.MaxOccupancy > 0 && pred.MaxOccupancy-fres.HighWater <= band:
+		return escalate(escalateBoundary, fres)
+	}
+	return fres, nil
+}

@@ -59,6 +59,17 @@ type SweepConfig struct {
 	// a violated repeat quarantines its cell. Part of the SweepKey: runs
 	// with and without the checker do not share checkpoints.
 	Analytic bool
+	// Backend selects the simulation engine per repeat: "" or "packet"
+	// runs everything on netsim; "fluid" integrates every repeat on the
+	// network-of-queues solver (the scheme must be fluid-representable);
+	// "auto" triages each repeat with the fluid model and re-runs it at
+	// packet level when the cell sits near an analytic boundary —
+	// occupancy within the differential tolerance band of its envelope, a
+	// deadlock/loss verdict the analytic model contradicts, or a scheme
+	// whose cyclic-CBD behaviour fluid cannot represent. Part of the
+	// SweepKey for the non-packet engines: fluid and packet cells never
+	// share a checkpoint.
+	Backend string
 }
 
 // supported fat-tree census: the arities the topology builder and its pinned
@@ -87,6 +98,11 @@ func (cfg SweepConfig) Validate() error {
 	}
 	if cfg.Duration <= 0 {
 		return fmt.Errorf("table1: Duration = %d; need a positive run horizon", cfg.Duration)
+	}
+	switch cfg.Backend {
+	case "", "packet", "fluid", "auto":
+	default:
+		return fmt.Errorf("table1: unknown backend %q (want packet, fluid or auto)", cfg.Backend)
 	}
 	return nil
 }
@@ -125,6 +141,18 @@ type ScenarioResult struct {
 	// the checkpoint store like every other field, so resumed and replayed
 	// cells carry the identical verdict.
 	Analytic *AnalyticVerdict `json:"analytic,omitempty"`
+	// HighWater is the repeat's maximum switch-channel occupancy — the
+	// signal auto-mode triage compares against the analytic envelope.
+	HighWater units.Size `json:"high_water,omitempty"`
+	// Backend records which engine produced the repeat: "" (historic
+	// checkpoints) and "packet" mean netsim, "fluid" the network-of-queues
+	// solver. Riding the checkpoint entry is what keeps an auto-mode
+	// resume bit-identical: a replayed cell keeps the provenance of the
+	// run that computed it rather than re-triaging.
+	Backend string `json:"backend,omitempty"`
+	// Escalation, set only on auto-mode packet re-runs, names the analytic
+	// boundary that forced the escalation.
+	Escalation string `json:"escalation,omitempty"`
 }
 
 // AnalyticVerdict records what the analytic model predicted for one repeat
@@ -211,13 +239,10 @@ func GenerateScenario(k int, p float64, seed int64) (*topology.Topology, *routin
 	return topo, tab, g.HasCycle()
 }
 
-// RunScenario executes one workload repetition on a prepared scenario. The
-// topology and routing table are supplied prebuilt (sweeps reuse them across
-// repeats), so the Spec's topology section is documentation only. The run is
-// governed: ctx cancellation and cfg.Budget are enforced via
-// netsim.RunBounded, and a tripped governor surfaces as a *netsim.RunError.
-func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
-	spec := scenario.Spec{
+// sweepSpec is the per-repeat Spec both backends compile: the enterprise
+// generator workload at the sweep's intensity, seeded by the repeat.
+func sweepSpec(fc FC, cfg SweepConfig, repeatSeed int64) scenario.Spec {
+	return scenario.Spec{
 		Name:     "table1-repeat",
 		Topology: scenario.TopologySpec{Builder: "fat-tree", K: cfg.K},
 		Routing:  scenario.RoutingSpec{Policy: "spf"},
@@ -231,6 +256,15 @@ func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Tabl
 			Analytic: cfg.Analytic,
 		},
 	}
+}
+
+// RunScenario executes one workload repetition on a prepared scenario. The
+// topology and routing table are supplied prebuilt (sweeps reuse them across
+// repeats), so the Spec's topology section is documentation only. The run is
+// governed: ctx cancellation and cfg.Budget are enforced via
+// netsim.RunBounded, and a tripped governor surfaces as a *netsim.RunError.
+func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Table, fc FC, cfg SweepConfig, repeatSeed int64) (*ScenarioResult, error) {
+	spec := sweepSpec(fc, cfg, repeatSeed)
 	// The metrics registry supplies the feedback-byte accounting the
 	// bespoke Trace closure used to keep.
 	reg := metrics.New(metrics.Options{})
@@ -273,6 +307,7 @@ func RunScenario(ctx context.Context, topo *topology.Topology, tab *routing.Tabl
 	if capBits > 0 {
 		res.FeedbackFraction = float64(reg.Summary().FeedbackWire.Bits()) / capBits
 	}
+	res.HighWater = reg.SwitchHighWater()
 	if cfg.Analytic {
 		pred, verr := sim.VerifyAnalytic(&scenario.Result{
 			End:        net.Now(),
@@ -318,6 +353,11 @@ func SweepKey(fc FC, cfg SweepConfig) string {
 		// checker existed keep their identity for plain sweeps.
 		key += "/analytic=1"
 	}
+	if cfg.Backend != "" && cfg.Backend != "packet" {
+		// Same append-only convention: packet sweeps keep their historic
+		// identity, fluid/auto sweeps get their own.
+		key += "/backend=" + cfg.Backend
+	}
 	return key
 }
 
@@ -344,6 +384,24 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == "fluid" {
+		// Fail fast rather than quarantining every cell: a pure-fluid
+		// sweep of a scheme the solver cannot represent computes nothing.
+		probe := sweepSpec(fc, cfg, 0)
+		if err := fluidSweepBackend.Supports(&probe); err != nil {
+			return nil, err
+		}
+	}
+	runRepeat := func(ctx context.Context, topo *topology.Topology, tab *routing.Table, seed int64) (*ScenarioResult, error) {
+		switch cfg.Backend {
+		case "fluid":
+			return RunScenarioFluid(ctx, topo, tab, fc, cfg, seed)
+		case "auto":
+			return runAutoRepeat(ctx, topo, tab, fc, cfg, seed)
+		default:
+			return RunScenario(ctx, topo, tab, fc, cfg, seed)
+		}
+	}
 	jobs := make([]runner.Job[*scenarioOutcome], cfg.Networks)
 	for i := 0; i < cfg.Networks; i++ {
 		i := i
@@ -354,7 +412,7 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 			}
 			sc := &scenarioOutcome{Repeats: make([]*ScenarioResult, cfg.Repeats)}
 			for r := 0; r < cfg.Repeats; r++ {
-				res, err := RunScenario(ctx, topo, tab, fc, cfg, cfg.Seed*1000+int64(i*cfg.Repeats+r))
+				res, err := runRepeat(ctx, topo, tab, cfg.Seed*1000+int64(i*cfg.Repeats+r))
 				if err != nil {
 					return nil, fmt.Errorf("repeat %d: %w", r, err)
 				}

@@ -106,27 +106,37 @@ func Run(cfg Config) (*Result, error) {
 	}
 	steps := int(cfg.Horizon / cfg.Step)
 	lag := int(cfg.Tau / cfg.Step)
-	res := &Result{Queue: &stats.Series{}, Rate: &stats.Series{}}
+	res := &Result{
+		Queue: &stats.Series{T: make([]units.Time, 0, steps), V: make([]float64, 0, steps)},
+		Rate:  &stats.Series{T: make([]units.Time, 0, steps), V: make([]float64, 0, steps)},
+	}
 
-	hist := make([]float64, steps+1)
+	hist := make([]float64, steps)
 	var q, qmax float64
 	rate := cfg.Mapping.LineRate()
 
-	// Time-based feedback pipeline.
+	// Time-based feedback pipeline. Samples are applied in FIFO order via a
+	// head index; the slice is reset (not re-sliced) once drained so the
+	// backing array is reused instead of leaking one element per update.
 	type update struct {
 		at units.Time
 		r  units.Rate
 	}
 	var pending []update
+	head := 0
 	nextReport := cfg.Period
 
 	for i := 0; i < steps; i++ {
 		now := units.Time(i) * cfg.Step
 		hist[i] = q
 		if cfg.Period > 0 {
-			for len(pending) > 0 && now >= pending[0].at {
-				rate = pending[0].r
-				pending = pending[1:]
+			for head < len(pending) && now >= pending[head].at {
+				rate = pending[head].r
+				head++
+			}
+			if head == len(pending) && head > 0 {
+				pending = pending[:0]
+				head = 0
 			}
 			if now >= nextReport {
 				pending = append(pending, update{

@@ -115,6 +115,70 @@ func TestTimeBasedFeedback(t *testing.T) {
 	}
 }
 
+// TestRunHistBoundary pins the hist sizing: `steps` slots exactly, one per
+// integration step, with the lagged read staying in range even when the lag
+// spans the whole horizon. The original allocation was steps+1 — one slot
+// was never written — and a regression to steps−1 would panic here.
+func TestRunHistBoundary(t *testing.T) {
+	step := 100 * units.Nanosecond
+	horizon := 100 * step
+	for _, tau := range []units.Time{0, step, horizon - step, horizon, 2 * horizon} {
+		res, err := Run(Config{
+			Mapping: Continuous{fig5Mapping()},
+			Drain:   ConstantDrain(5 * units.Gbps),
+			Tau:     tau,
+			Step:    step,
+			Horizon: horizon,
+		})
+		if err != nil {
+			t.Fatalf("tau %v: %v", tau, err)
+		}
+		steps := int(horizon / step)
+		if res.Queue.Len() != steps || res.Rate.Len() != steps {
+			t.Fatalf("tau %v: %d queue / %d rate samples, want %d",
+				tau, res.Queue.Len(), res.Rate.Len(), steps)
+		}
+		// The series were preallocated to exactly `steps`; append must
+		// not have regrown them.
+		if cap(res.Queue.V) != steps || cap(res.Rate.V) != steps {
+			t.Errorf("tau %v: series capacity %d/%d, want %d (preallocated)",
+				tau, cap(res.Queue.V), cap(res.Rate.V), steps)
+		}
+		// A lag at or beyond the horizon keeps the sender at line rate
+		// for the whole run — the warmup branch, never an out-of-range
+		// hist read.
+		if tau >= horizon && res.Rate.Last() != 1e10 {
+			t.Errorf("tau %v: final rate %v, want line rate", tau, res.Rate.Last())
+		}
+	}
+}
+
+// TestTimeBasedPipelineReuse pins the feedback-pipeline fix: a long
+// time-based run must drain its in-flight sample queue in place (head
+// index + reset) rather than re-slicing, so the backing array stops
+// growing once the pipeline depth stabilises.
+func TestTimeBasedPipelineReuse(t *testing.T) {
+	m := core.ContinuousMapping{C: 10 * units.Gbps, B0: 400 * units.KB, Bm: 600 * units.KB}
+	cfg := Config{
+		Mapping: Continuous{m},
+		Drain:   ConstantDrain(2.5 * units.Gbps),
+		Tau:     7 * units.Microsecond,
+		Period:  52 * units.Microsecond,
+		Horizon: 50 * units.Millisecond,
+	}
+	// ~960 samples cross the pipeline; with the head-index reuse the whole
+	// run costs a handful of allocations (series, hist, one pending grow).
+	// The old per-update re-slice allocated once per sample.
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 50 {
+		t.Errorf("Run allocated %.0f times; feedback pipeline is not reusing its backing array", allocs)
+	}
+}
+
 func TestRequiredBufferMatchesTheorem(t *testing.T) {
 	// The empirical minimum headroom must be at most the theorem's (the
 	// bound is sufficient) and within a small constant factor of it

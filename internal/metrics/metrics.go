@@ -300,6 +300,46 @@ func (r *Registry) OnFeedback(idx int, t units.Time, class FeedbackClass, stage 
 	}
 }
 
+// RecordContinuous seeds channel idx's counters from a continuous-model
+// backend in one call: bytesIn admitted to the ingress, bytesOut released
+// (and transmitted) from it, peak the model's exact maximum occupancy,
+// final the end-of-run occupancy and drops the whole-packet drop count.
+// The invariants OnAdmit and OnDrop enforce per event apply once here — a
+// peak above the buffer (or the installed ceiling) and any drop raise the
+// matching violations — so CheckNetwork and the report writers treat
+// fluid-produced channels exactly like packet-produced ones. Continuous
+// backends track occupancy exactly in their own state, which makes one
+// end-of-run call both cheaper and more precise than streaming millions of
+// fractional per-step events through the per-packet hooks.
+func (r *Registry) RecordContinuous(idx int, end units.Time, bytesIn, bytesOut, peak, final units.Size, drops int64) {
+	c := &r.counters[idx]
+	c.BytesIn += bytesIn
+	c.BytesOut += bytesOut
+	c.Departed += bytesOut
+	if bytesOut > 0 {
+		c.LastDepartAt = end
+	}
+	if peak > c.HighWater {
+		c.HighWater = peak
+		if b := r.buffers[idx]; peak > b {
+			r.violate(Violation{
+				Kind: ViolationOverflow, At: end, Occupancy: peak, Limit: b,
+			}, idx)
+		} else if ceil := r.ceilings[idx]; ceil > 0 && peak > ceil {
+			r.violate(Violation{
+				Kind: ViolationCeiling, At: end, Occupancy: peak, Limit: ceil,
+			}, idx)
+		}
+	}
+	if drops > 0 {
+		c.Drops += drops
+		r.violate(Violation{
+			Kind: ViolationDrop, At: end, Occupancy: peak, Limit: r.buffers[idx],
+		}, idx)
+	}
+	r.sample(idx, end, final)
+}
+
 // SetCeiling installs the theorem-derived occupancy ceiling for channel idx
 // (B_m plus transient headroom, clamped to the buffer). netsim derives it
 // from the channel's flowcontrol.Bounded sender; tests may override it to

@@ -15,6 +15,11 @@ import (
 // nominally unoverflowable.
 const hostBuffer = 1 << 40 * units.Byte
 
+// HostIngressBuffer exposes the host receive-side allocation so alternate
+// simulation backends can bind a metrics.Registry with netsim's exact
+// channel layout and per-port buffer values.
+const HostIngressBuffer = hostBuffer
+
 // Config parameterises a simulation.
 type Config struct {
 	// MTU is the maximum packet size; default 1500 B (Ethernet).

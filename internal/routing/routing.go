@@ -123,14 +123,57 @@ func (tab *Table) NextHops(n, dst topology.NodeID) []topology.Attachment {
 }
 
 // NextHop picks one next hop toward dst deterministically from flowKey
-// (ECMP by flow hash).
+// (ECMP by flow hash). It selects the same attachment NextHops-then-index
+// would, but by rank counting over the (unsorted) port list: this runs once
+// per hop of every path the all-pairs CBD analysis traces, and the
+// slice-plus-sort version dominated full-scale sweep setup time.
 func (tab *Table) NextHop(n, dst topology.NodeID, flowKey uint64) (topology.Attachment, bool) {
-	hops := tab.NextHops(n, dst)
-	if len(hops) == 0 {
+	d, known := tab.dist[dst]
+	if !known || d[n] >= unreachable || n == dst {
+		return topology.Attachment{}, false
+	}
+	ports := tab.topo.Ports(n)
+	eligible := func(at topology.Attachment) bool {
+		if at.Link.Failed {
+			return false
+		}
+		if tab.topo.Node(at.Peer).Kind == topology.Host && at.Peer != dst {
+			return false
+		}
+		return d[at.Peer] == d[n]-1
+	}
+	count := 0
+	for _, at := range ports {
+		if eligible(at) {
+			count++
+		}
+	}
+	if count == 0 {
 		return topology.Attachment{}, false
 	}
 	h := mix(flowKey ^ uint64(n)<<32 ^ uint64(dst))
-	return hops[h%uint64(len(hops))], true
+	want := int(h % uint64(count))
+	// Return the want-th eligible attachment in the (peer, port) order
+	// NextHops guarantees. Port fan-out is the switch radix, so the
+	// quadratic rank count stays cheaper than sorting an allocated slice.
+	for _, at := range ports {
+		if !eligible(at) {
+			continue
+		}
+		rank := 0
+		for _, o := range ports {
+			if !eligible(o) {
+				continue
+			}
+			if o.Peer < at.Peer || (o.Peer == at.Peer && o.Port < at.Port) {
+				rank++
+			}
+		}
+		if rank == want {
+			return at, true
+		}
+	}
+	return topology.Attachment{}, false
 }
 
 // Hop is one forwarding step of a path: the node, the local egress port used
@@ -148,11 +191,14 @@ func (tab *Table) Path(src, dst topology.NodeID, flowKey uint64) ([]Hop, error) 
 	if src == dst {
 		return nil, fmt.Errorf("routing: src == dst (%d)", src)
 	}
-	if !tab.Reachable(src, dst) {
+	hops, ok := tab.Distance(src, dst)
+	if !ok {
 		return nil, fmt.Errorf("routing: %s unreachable from %s",
 			tab.topo.Node(dst).Name, tab.topo.Node(src).Name)
 	}
-	var path []Hop
+	// Every step moves one hop closer, so the path length is exactly the
+	// hop distance: size the slice once instead of growing it.
+	path := make([]Hop, 0, hops)
 	n := src
 	for n != dst {
 		at, ok := tab.NextHop(n, dst, flowKey)

@@ -236,6 +236,12 @@ type Result struct {
 	DCFITAt         units.Time
 	Drops           int64
 	Delivered       units.Size
+	// HighWater is the maximum switch-ingress occupancy the attached
+	// registry observed (zero when no registry was attached).
+	HighWater units.Size
+	// Backend names the simulation backend that produced this result:
+	// "packet" (netsim) or "fluid" (the network-of-queues rate model).
+	Backend string
 	// Violations is the attached registry's invariant-violation count
 	// (zero when no registry was attached).
 	Violations int64
@@ -329,6 +335,7 @@ func (s *Sim) summarise() *Result {
 	res := &Result{
 		Name:      s.Spec.Name,
 		FC:        s.Spec.Scheme.FC,
+		Backend:   "packet",
 		End:       s.Net.Now(),
 		Drops:     s.Net.Drops(),
 		Delivered: s.Net.TotalDelivered(),
@@ -348,6 +355,7 @@ func (s *Sim) summarise() *Result {
 	}
 	if s.Metrics != nil {
 		res.Violations = s.Metrics.Summary().Violations
+		res.HighWater = s.Metrics.SwitchHighWater()
 	}
 	if s.Injector != nil {
 		res.FaultStats = s.Injector.Stats()
@@ -529,31 +537,39 @@ func (s *Spec) simConfig() (netsim.Config, FCParams, error) {
 	return cfg, fp, nil
 }
 
-// addFlows instantiates the pattern or declared flows, in order.
-func (s *Sim) addFlows(ov *Overrides) error {
-	w := s.Spec.Workload
+// resolvedFlow is one declared flow with its resolved path and start time —
+// the backend-independent part of workload instantiation. Both backends
+// consume the same resolution so their workloads match flow for flow.
+type resolvedFlow struct {
+	flow  *netsim.Flow
+	start units.Time
+}
+
+// resolveFlows materialises the pattern or declared-flows section, in add
+// order, without touching any simulator.
+func resolveFlows(spec Spec, topo *topology.Topology, tab *routing.Table) ([]resolvedFlow, error) {
+	w := spec.Workload
 	if w.Pattern == "ring-clockwise" {
-		t := s.Spec.Topology
+		t := spec.Topology
 		h := t.HostsPerSwitch
 		if h == 0 {
 			h = 1
 		}
 		if t.Builder != "ring" {
-			return fmt.Errorf("scenario: pattern ring-clockwise needs the ring builder, not %q", t.Builder)
+			return nil, fmt.Errorf("scenario: pattern ring-clockwise needs the ring builder, not %q", t.Builder)
 		}
-		for i, path := range routing.RingHostsClockwisePaths(s.Topo, t.n(), h) {
-			f := &netsim.Flow{
+		var out []resolvedFlow
+		for i, path := range routing.RingHostsClockwisePaths(topo, t.n(), h) {
+			out = append(out, resolvedFlow{flow: &netsim.Flow{
 				ID:   i + 1,
 				Src:  path[0].Node,
 				Dst:  path[len(path)-1].Link.Other(path[len(path)-1].Node),
 				Path: path,
-			}
-			if err := s.add(f, 0, ov); err != nil {
-				return err
-			}
+			}})
 		}
-		return nil
+		return out, nil
 	}
+	var out []resolvedFlow
 	for i, fs := range w.Flows {
 		id := fs.ID
 		if id == 0 {
@@ -565,34 +581,46 @@ func (s *Sim) addFlows(ov *Overrides) error {
 			Priority: fs.Priority,
 		}
 		if len(fs.Path) > 0 {
-			path, err := routing.ExplicitPath(s.Topo, fs.Path...)
+			path, err := routing.ExplicitPath(topo, fs.Path...)
 			if err != nil {
-				return fmt.Errorf("scenario: flows[%d]: %w", i, err)
+				return nil, fmt.Errorf("scenario: flows[%d]: %w", i, err)
 			}
 			f.Src = path[0].Node
 			f.Dst = path[len(path)-1].Link.Other(path[len(path)-1].Node)
 			f.Path = path
 		} else {
-			if s.Table == nil {
-				return fmt.Errorf("scenario: flows[%d]: src/dst flow needs a routing table (set routing policy spf)", i)
+			if tab == nil {
+				return nil, fmt.Errorf("scenario: flows[%d]: src/dst flow needs a routing table (set routing policy spf)", i)
 			}
-			src, ok := s.Topo.Lookup(fs.Src)
+			src, ok := topo.Lookup(fs.Src)
 			if !ok {
-				return fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Src)
+				return nil, fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Src)
 			}
-			dst, ok := s.Topo.Lookup(fs.Dst)
+			dst, ok := topo.Lookup(fs.Dst)
 			if !ok {
-				return fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Dst)
+				return nil, fmt.Errorf("scenario: flows[%d]: no node named %q", i, fs.Dst)
 			}
-			path, err := s.Table.Path(src, dst, uint64(id))
+			path, err := tab.Path(src, dst, uint64(id))
 			if err != nil {
-				return fmt.Errorf("scenario: flows[%d]: %w", i, err)
+				return nil, fmt.Errorf("scenario: flows[%d]: %w", i, err)
 			}
 			f.Src = src
 			f.Dst = dst
 			f.Path = path
 		}
-		if err := s.add(f, fs.StartNs, ov); err != nil {
+		out = append(out, resolvedFlow{flow: f, start: fs.StartNs})
+	}
+	return out, nil
+}
+
+// addFlows instantiates the pattern or declared flows, in order.
+func (s *Sim) addFlows(ov *Overrides) error {
+	flows, err := resolveFlows(s.Spec, s.Topo, s.Table)
+	if err != nil {
+		return err
+	}
+	for _, rf := range flows {
+		if err := s.add(rf.flow, rf.start, ov); err != nil {
 			return err
 		}
 	}

@@ -60,6 +60,25 @@ func clos1024(fc FC) Spec {
 	}
 }
 
+// twoToOne returns the Figure 5 congestion-control microbenchmark: two
+// senders share one receiver link through a single switch. It is the
+// smallest scenario with genuine flow-control dynamics, which makes it the
+// backend-conformance workhorse: acyclic, declared flows, one scheme knob.
+func twoToOne(fc FC) Spec {
+	return Spec{
+		Name:        "twotoone-" + schemeSlug(fc),
+		Description: "fig5 two-to-one congestion: two senders share one receiver link, " + string(fc),
+		Topology:    TopologySpec{Builder: "two-to-one"},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload: WorkloadSpec{Flows: []FlowSpec{
+			{ID: 1, Src: "H1", Dst: "H3"},
+			{ID: 2, Src: "H2", Dst: "H3"},
+		}},
+		Scheme: SchemeSpec{FC: fc, Preset: "sim"},
+		Run:    RunSpec{DurationNs: 20 * units.Millisecond, DetectDeadlock: true},
+	}
+}
+
 // schemeSlug is the lower-case registry suffix for a scheme.
 func schemeSlug(fc FC) string {
 	switch fc {
@@ -196,6 +215,12 @@ func init() {
 		Scheme:      SchemeSpec{FC: PFC, Preset: "sim"},
 		Run:         RunSpec{DurationNs: 25 * units.Millisecond, DetectDeadlock: true, StopOnDeadlock: true},
 	})
+	// All five schemes of the fig5 microbenchmark: the four fluid-capable
+	// ones anchor the backend-conformance suite, CBFC pins its skip reason.
+	for _, fc := range AllFCs() {
+		Register(twoToOne(fc))
+	}
+	Register(twoToOne(GFCConceptual))
 	for _, fc := range AllFCs() {
 		Register(clos128(fc))
 	}

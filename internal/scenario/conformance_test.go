@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/gfcsim/gfc/internal/fluid"
+	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/topology"
+	"github.com/gfcsim/gfc/internal/units"
+)
+
+// conformanceSkips lists every registered scenario the backend-conformance
+// suite may skip, with the substring its skip reason must contain. The
+// mapping is enforced both ways: a scenario that skips for an unlisted
+// reason fails, and a listed scenario that turns out to be comparable fails
+// too — so the list cannot rot as the catalogue grows.
+var conformanceSkips = map[string]string{
+	"ring-steady-gfcbuf":           "cyclic",
+	"ring-formation-pfc":           "cyclic",
+	"ring-faulted-resume-loss-pfc": "fault injection",
+	"ring-formation-bfc":           "per-flow queues",
+	"ring-formation-pfc-dcfit":     "DCFIT",
+	"ring-faulted-resume-loss-bfc": "fault injection",
+	"casestudy-pfc":                "cyclic",
+	"casestudy-gfcbuf":             "cyclic",
+	"evolution-pfc":                "generator",
+	"overhead-gfcbuf":              "generator",
+	"sweep-cell-pfc":               "generator",
+	"twotoone-cbfc":                "credit",
+	"clos128-pfc":                  "generator",
+	"clos128-gfcbuf":               "generator",
+	"clos128-cbfc":                 "generator",
+	"clos128-gfctime":              "generator",
+	"clos128-bfc":                  "generator",
+	"clos1024-pfc":                 "generator",
+	"clos1024-gfcbuf":              "generator",
+	"clos1024-gfctime":             "generator",
+}
+
+// requireListedSkip asserts the skip (reason) was declared for name with a
+// matching reason substring, then records the skip.
+func requireListedSkip(t *testing.T, name, reason string) {
+	t.Helper()
+	want, listed := conformanceSkips[name]
+	if !listed {
+		t.Fatalf("scenario skipped (%s) but is not in conformanceSkips — add it with the reason", reason)
+	}
+	if !strings.Contains(reason, want) {
+		t.Fatalf("skip reason %q does not contain the declared %q", reason, want)
+	}
+	t.Skipf("declared skip: %s", reason)
+}
+
+// conformanceBand is the fluid-vs-packet occupancy tolerance for a compiled
+// spec: fluid.Band at the topology's fastest link and the configured MTU.
+func conformanceBand(t *testing.T, spec Spec, topo *topology.Topology) units.Size {
+	t.Helper()
+	cfg, _, err := spec.simConfig()
+	if err != nil {
+		t.Fatalf("simConfig: %v", err)
+	}
+	mtu := cfg.MTU
+	if mtu == 0 {
+		mtu = 1500 * units.Byte
+	}
+	var maxCap units.Rate
+	for i := 0; i < topo.NumLinks(); i++ {
+		if c := topo.Link(topology.LinkID(i)).Capacity; c > maxCap {
+			maxCap = c
+		}
+	}
+	return fluid.Band(maxCap, mtu)
+}
+
+// TestBackendConformance runs every registered scenario the fluid backend
+// can represent through both backends and asserts they agree: same deadlock
+// and loss verdicts, high-water occupancies within the differential
+// tolerance band, and both inside the analytic envelope. Scenarios fluid
+// cannot represent (or whose CBD is cyclic, where the proportional-share
+// solver is not a faithful model) must appear in conformanceSkips with the
+// right reason.
+func TestBackendConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite runs full packet simulations")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("registered name %q not gettable", name)
+			}
+			var fb FluidBackend
+			if err := fb.Supports(&spec); err != nil {
+				requireListedSkip(t, name, err.Error())
+				return
+			}
+
+			preg := metrics.New(metrics.Options{})
+			psim, err := Build(spec, &Overrides{Metrics: preg})
+			if err != nil {
+				t.Fatalf("packet build: %v", err)
+			}
+			if known, cyclic := psim.cbdVerdict(); known && cyclic {
+				requireListedSkip(t, name, "cyclic CBD: fluid proportional sharing is not a faithful model")
+				return
+			}
+			if want, listed := conformanceSkips[name]; listed {
+				t.Fatalf("scenario is listed as skipped (%q) but both backends can compare it — drop the entry", want)
+			}
+
+			band := conformanceBand(t, spec, psim.Topo)
+
+			pres, err := psim.RunBounded(context.Background(), netsim.Budget{})
+			if err != nil {
+				t.Fatalf("packet run: %v", err)
+			}
+			fr, err := fb.Build(spec, nil)
+			if err != nil {
+				t.Fatalf("fluid build: %v", err)
+			}
+			fres, err := fr.RunBounded(context.Background(), netsim.Budget{})
+			if err != nil {
+				t.Fatalf("fluid run: %v", err)
+			}
+
+			if pres.Backend != "packet" || fres.Backend != "fluid" {
+				t.Errorf("backend provenance: packet=%q fluid=%q", pres.Backend, fres.Backend)
+			}
+			if pres.Deadlocked != fres.Deadlocked {
+				t.Errorf("deadlock verdicts disagree: packet=%v fluid=%v", pres.Deadlocked, fres.Deadlocked)
+			}
+			if pres.Drops != 0 || fres.Drops != 0 {
+				t.Errorf("loss verdicts: packet dropped %d, fluid dropped %d (want lossless)", pres.Drops, fres.Drops)
+			}
+			diff := pres.HighWater - fres.HighWater
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > band {
+				t.Errorf("high-water disagreement %v (packet %v vs fluid %v) exceeds tolerance band %v",
+					diff, pres.HighWater, fres.HighWater, band)
+			}
+			pred, err := psim.Predict()
+			if err != nil {
+				t.Fatalf("analytic prediction: %v", err)
+			}
+			if b := pred.Bounds(); b.MaxOccupancy > 0 {
+				if pres.HighWater > b.MaxOccupancy {
+					t.Errorf("packet high-water %v above analytic envelope %v", pres.HighWater, b.MaxOccupancy)
+				}
+				if fres.HighWater > b.MaxOccupancy {
+					t.Errorf("fluid high-water %v above analytic envelope %v", fres.HighWater, b.MaxOccupancy)
+				}
+			}
+		})
+	}
+}

@@ -165,6 +165,17 @@ type SimSpec struct {
 	TxRing           int        `json:"tx_ring,omitempty"`
 	FeedbackJitterNs units.Time `json:"feedback_jitter_ns,omitempty"`
 	JitterSeed       int64      `json:"jitter_seed,omitempty"`
+	// Backend selects the simulation backend: "" or "packet" replays every
+	// packet through netsim; "fluid" integrates the network-of-queues rate
+	// model (orders of magnitude faster, subject to Supports); "auto" uses
+	// fluid when the spec is fluid-representable and falls back to packet
+	// otherwise.
+	Backend string `json:"backend,omitempty"`
+	// FluidStepNs overrides the fluid backend's integration step (default
+	// 500 ns). Coarser steps trade occupancy resolution — roughly one
+	// step's worth of line-rate bytes — for proportionally less work;
+	// sweep triage runs at 2 µs. Ignored by the packet backend.
+	FluidStepNs units.Time `json:"fluid_step_ns,omitempty"`
 }
 
 // FaultsSpec references a fault scenario: a built-in preset by name or an
@@ -467,8 +478,14 @@ func (m *SimSpec) validate() error {
 		return err
 	}
 	if m.BufferBytes < 0 || m.MTUBytes < 0 || m.ECNBytes < 0 ||
-		m.ProcDelayNs < 0 || m.TauNs < 0 || m.FeedbackJitterNs < 0 {
+		m.ProcDelayNs < 0 || m.TauNs < 0 || m.FeedbackJitterNs < 0 ||
+		m.FluidStepNs < 0 {
 		return fmt.Errorf("scenario: sim: negative size or time field")
+	}
+	switch m.Backend {
+	case "", "packet", "fluid", "auto":
+	default:
+		return fmt.Errorf("scenario: sim: unknown backend %q (want packet, fluid or auto)", m.Backend)
 	}
 	return nil
 }
