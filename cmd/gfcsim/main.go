@@ -30,10 +30,12 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/gfcsim/gfc/internal/experiments"
 	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/runner"
 	"github.com/gfcsim/gfc/internal/scenario"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
@@ -63,6 +65,8 @@ var (
 		"abort any single run after this many simulator events (0 = unlimited)")
 	budgetWall = flag.Duration("budget-wall", 0,
 		"abort any single run after this much wall-clock time (0 = unlimited)")
+	budgetHeap = flag.Uint64("budget-heap", 0,
+		"abort any single run once the process heap exceeds this many bytes\n(OOM guard, sampled every 64 governor checks; 0 = unlimited)")
 	stallEvents = flag.Uint64("stall-events", 0,
 		"declare livelock if this many events pass with no sim-time, delivery or\ndrop progress (0 = watchdog off)")
 	jobTimeout = flag.Duration("job-timeout", 0,
@@ -71,6 +75,12 @@ var (
 		"sweeps: enforce the network-wide analytic checker on every repeat\n(internal/analytic; violated repeats quarantine their cell; changes the\ncheckpoint key)")
 	table1Scale = flag.String("table1-scale", "",
 		"table1: preset overriding the count flags — \"ci\" (k=4, 200 networks × 1\nrepeat, checker on: the CI gate) or \"full\" (paper scale: 10000 networks ×\n100 repeats, 1 flow/host, checker on; run with -checkpoint, see\nEXPERIMENTS.md)")
+	retries = flag.Int("retries", 2,
+		"sweeps: re-run a cell this many times after a transient failure (wall or\nheap budget trip) with seed-derived backoff; deterministic failures —\npanics, invariant violations, event budgets — never retry (0 = off)")
+	retryBackoff = flag.Duration("retry-backoff", time.Second,
+		"sweeps: base backoff before the first retry; doubles per attempt with\nseed-derived jitter")
+	degrade = flag.Bool("degrade", true,
+		"sweeps: when a packet cell exhausts its retry budget on transient\nfailures, recompute it on the fluid backend where the analytic model\nvouches for the result (cells it cannot vouch for quarantine); degraded\ncells are marked in provenance and the checkpoint key, and a sweep with\ndegraded cells exits 5")
 	backendName = flag.String("backend", "",
 		"simulation backend for -scenario and the sweeps: \"packet\" (default;\nreplays every packet), \"fluid\" (network-of-queues rate integration —\norders of magnitude faster, rejects specs it cannot represent faithfully)\nor \"auto\" (fluid where faithful, packet otherwise; sweeps additionally\nre-run cells near the analytic envelope at packet fidelity)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -85,18 +95,31 @@ var ctx context.Context
 // budget blown, livelock, or quarantined cells. It maps to exit code 3.
 var errGovernor = errors.New("run governor tripped")
 
+// errDegraded marks a sweep that completed but holds degraded-fidelity
+// (fluid-computed) cells: the numbers are vouched for by the analytic model
+// yet below packet fidelity, so scripts get exit code 5 to tell "clean"
+// from "self-healed". Quarantined cells (exit 3) take precedence.
+var errDegraded = errors.New("sweep completed with degraded-fidelity cells")
+
 // flagBudget assembles the per-run Budget from the -budget-* / -stall-events
 // flags; it overlays (and so overrides) any limits block in a scenario spec.
 func flagBudget() netsim.Budget {
 	return netsim.Budget{
 		MaxEvents:   *budgetEvents,
 		MaxWall:     *budgetWall,
+		MaxHeap:     *budgetHeap,
 		StallEvents: *stallEvents,
 	}
 }
 
+// flagRetry assembles the sweep retry policy from -retries/-retry-backoff.
+func flagRetry() runner.Retry {
+	return runner.Retry{Max: *retries, BackoffBase: *retryBackoff}
+}
+
 // exitCode maps an error to the process exit status: 0 ok, 4 interrupted,
-// 3 governor-tripped, 1 anything else (2, usage, is handled inline).
+// 3 governor-tripped, 5 degraded-fidelity cells, 1 anything else (2, usage,
+// is handled inline).
 func exitCode(err error) int {
 	switch {
 	case err == nil:
@@ -105,6 +128,8 @@ func exitCode(err error) int {
 		return 4
 	case errors.Is(err, errGovernor):
 		return 3
+	case errors.Is(err, errDegraded):
+		return 5
 	default:
 		return 1
 	}
@@ -452,6 +477,9 @@ func runFaultMatrix() error {
 	cfg := experiments.FaultMatrixConfig{
 		Duration: dur(60 * units.Millisecond),
 		Seed:     *seed,
+		Ctx:      ctx,
+		Budget:   flagBudget(),
+		Retry:    flagRetry(),
 	}
 	if *faultSpec != "" {
 		// The matrix compiles presets by name; restrict the columns to the
@@ -557,7 +585,7 @@ func runSweep(which string) error {
 		return fmt.Errorf("unknown -table1-scale %q (want \"ci\" or \"full\")", *table1Scale)
 	}
 	results := make(map[int]map[experiments.FC]*experiments.SweepResult)
-	quarantined := 0
+	quarantined, degradedCells := 0, 0
 	for _, k := range ks {
 		results[k] = make(map[experiments.FC]*experiments.SweepResult)
 		cfg := experiments.DefaultSweep(k)
@@ -571,6 +599,8 @@ func runSweep(which string) error {
 		cfg.Checkpoint = *checkpoint
 		cfg.Analytic = *analytic
 		cfg.Backend = *backendName
+		cfg.Retry = flagRetry()
+		cfg.Degrade = *degrade && *backendName != "fluid"
 		switch *table1Scale {
 		case "ci":
 			// The CI gate: a k=4 slice with the checker enforced, small
@@ -593,10 +623,14 @@ func runSweep(which string) error {
 				}
 				return err
 			}
+			if sum := res.ResilienceSummary(); sum != "" {
+				fmt.Fprintf(os.Stderr, "self-healing report (k=%d %s):\n%s", k, fc, sum)
+			}
 			if len(res.Failures) > 0 {
 				fmt.Fprintln(os.Stderr, res.FailureSummary())
 				quarantined += len(res.Failures)
 			}
+			degradedCells += len(res.Degraded)
 			results[k][fc] = res
 		}
 	}
@@ -613,6 +647,9 @@ func runSweep(which string) error {
 	}
 	if quarantined > 0 {
 		return fmt.Errorf("%w: %d sweep cells quarantined", errGovernor, quarantined)
+	}
+	if degradedCells > 0 {
+		return fmt.Errorf("%w: %d", errDegraded, degradedCells)
 	}
 	return nil
 }

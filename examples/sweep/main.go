@@ -185,7 +185,7 @@ func main() {
 			return out, nil
 		}
 	}
-	opts := runner.Options{
+	opts := runner.Options[outcome]{
 		Workers: *workers,
 		Seed:    func(job int) int64 { return *seed + int64(job) },
 	}

@@ -257,6 +257,7 @@ const (
 	StopEventBudget = netsim.StopEventBudget
 	StopWallBudget  = netsim.StopWallBudget
 	StopStalled     = netsim.StopStalled
+	StopHeapBudget  = netsim.StopHeapBudget
 )
 
 // OpenCheckpoint opens (creating if absent) a sweep checkpoint for

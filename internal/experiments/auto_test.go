@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -45,12 +46,34 @@ func checkpointProvenance(t *testing.T, path, key string) []cellProvenance {
 	}
 	perJob := map[int][]cellProvenance{}
 	jobs := []int{}
-	for _, line := range bytes.Split(data, []byte{'\n'}) {
+	for n, line := range bytes.Split(data, []byte{'\n'}) {
 		if len(line) == 0 {
 			continue
 		}
+		if n == 0 {
+			// v2 checkpoint header line.
+			var hdr struct {
+				Version int `json:"gfc_checkpoint"`
+			}
+			if json.Unmarshal(line, &hdr) != nil || hdr.Version < 2 {
+				t.Fatalf("checkpoint lacks a v2 header: %s", line)
+			}
+			continue
+		}
+		// Each entry rides a CRC32 envelope; verifying it here keeps this
+		// an independent check of the on-disk format, not just of Lookup.
+		var env struct {
+			CRC uint32          `json:"crc"`
+			E   json.RawMessage `json:"e"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			t.Fatalf("unparseable envelope line: %v", err)
+		}
+		if crc32.ChecksumIEEE(env.E) != env.CRC {
+			t.Fatalf("checkpoint line %d fails its CRC", n)
+		}
 		var e runner.Entry
-		if err := json.Unmarshal(line, &e); err != nil {
+		if err := json.Unmarshal(env.E, &e); err != nil {
 			t.Fatalf("unparseable checkpoint line: %v", err)
 		}
 		if e.Key != key || len(e.Value) == 0 {

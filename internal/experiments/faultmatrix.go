@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/gfcsim/gfc/internal/deadlock"
 	"github.com/gfcsim/gfc/internal/faults"
 	"github.com/gfcsim/gfc/internal/metrics"
+	"github.com/gfcsim/gfc/internal/netsim"
+	"github.com/gfcsim/gfc/internal/runner"
 	"github.com/gfcsim/gfc/internal/stats"
 	"github.com/gfcsim/gfc/internal/units"
 )
@@ -59,6 +62,11 @@ type FaultCell struct {
 	Delivered  units.Size
 	MinFlow    units.Size
 	SteadyRate units.Rate
+
+	// Retries counts transient failures absorbed before this cell's run
+	// completed (0 for a clean first attempt). Not a printed column:
+	// FaultMatrixRows' output is golden-pinned.
+	Retries int
 }
 
 // FaultMatrixConfig parameterises RunFaultMatrix.
@@ -78,6 +86,15 @@ type FaultMatrixConfig struct {
 	// with Refresh 0 so it matches the golden fig9 traces. Default τ
 	// (90 µs), bounding feedback staleness at roughly one reaction budget.
 	Refresh units.Time
+	// Ctx and Budget govern each cell's run (see RingConfig); left zero,
+	// cells run ungoverned as they always have.
+	Ctx    context.Context
+	Budget netsim.Budget
+	// Retry is the transient-failure retry policy applied per cell under
+	// the sweep classification (wall/heap trips retry with seed-derived
+	// backoff; deterministic failures and deadlock verdicts do not). The
+	// zero value disables retrying.
+	Retry runner.Retry
 }
 
 // RunFaultMatrix runs the scheme × scenario robustness matrix on the fig9
@@ -122,23 +139,38 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 				return nil, fmt.Errorf("experiments: compiling %q: %w", scenario, err)
 			}
 		}
-		for _, fc := range cfg.Schemes {
-			reg := metrics.New(metrics.Options{})
-			ring := RingConfig{
-				FC:             fc,
-				Duration:       cfg.Duration,
-				HostsPerSwitch: cfg.HostsPerSwitch,
-				Metrics:        reg,
-				Faults:         plan,
-				FaultSeed:      cfg.Seed,
-				// Both detectors report in every cell; the global
-				// verdict is the row's, DCFIT's fills its own columns.
-				Detector: "both",
+		for si, fc := range cfg.Schemes {
+			ctx := cfg.Ctx
+			if ctx == nil {
+				ctx = context.Background()
 			}
-			if fc == GFCBuf && plan != nil {
-				ring.Refresh = cfg.Refresh
-			}
-			res, err := RunRing(ring)
+			// Each attempt rebuilds its registry and simulation from
+			// scratch, so a retried cell is bit-identical to a clean
+			// first run; the backoff seed is the cell's position, making
+			// retry sequencing reproducible across runs.
+			var reg *metrics.Registry
+			cellSeed := cfg.Seed*1000 + int64(len(cells))*10 + int64(si)
+			res, prov, err := runner.Supervise(ctx, cellSeed, cfg.Retry, ClassifyCellFailure,
+				func(ctx context.Context) (*RingResult, error) {
+					reg = metrics.New(metrics.Options{})
+					ring := RingConfig{
+						FC:             fc,
+						Duration:       cfg.Duration,
+						HostsPerSwitch: cfg.HostsPerSwitch,
+						Metrics:        reg,
+						Faults:         plan,
+						FaultSeed:      cfg.Seed,
+						// Both detectors report in every cell; the global
+						// verdict is the row's, DCFIT's fills its own columns.
+						Detector: "both",
+						Ctx:      ctx,
+						Budget:   cfg.Budget,
+					}
+					if fc == GFCBuf && plan != nil {
+						ring.Refresh = cfg.Refresh
+					}
+					return RunRing(ring)
+				})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s under %q: %w", fc, scenario, err)
 			}
@@ -156,6 +188,9 @@ func RunFaultMatrix(cfg FaultMatrixConfig) ([]FaultCell, error) {
 			cell.FaultsInjected = reg.FaultsInjected()
 			cell.FeedbackDropped = res.FaultStats.FeedbackDropped
 			cell.FeedbackDelayed = res.FaultStats.FeedbackDelayed
+			if prov != nil {
+				cell.Retries = len(prov.Retries)
+			}
 			cells = append(cells, cell)
 		}
 	}

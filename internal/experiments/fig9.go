@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/gfcsim/gfc/internal/deadlock"
@@ -76,6 +77,13 @@ type RingConfig struct {
 	// Detector selects the deadlock detector(s), as in
 	// scenario.RunSpec.Detector: "" or "global", "dcfit", or "both".
 	Detector string
+	// Ctx and Budget, when either is set, run the simulation under the
+	// netsim governor (RunBounded) instead of the uninstrumented Run: the
+	// context is polled and the budget enforced, and a tripped governor
+	// surfaces as a *netsim.RunError. Left zero, the historic ungoverned
+	// path runs — bit-identical to every pinned fig9 golden.
+	Ctx    context.Context
+	Budget netsim.Budget
 }
 
 // RingTopology builds the topology RunRing simulates, so fault plans can be
@@ -152,7 +160,17 @@ func RunRing(cfg RingConfig) (*RingResult, error) {
 		return nil, err
 	}
 	net := sim.Net
-	net.Run(cfg.Duration)
+	if cfg.Ctx != nil || cfg.Budget != (netsim.Budget{}) {
+		ctx := cfg.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := net.RunBounded(ctx, cfg.Duration, cfg.Budget); err != nil {
+			return nil, err
+		}
+	} else {
+		net.Run(cfg.Duration)
+	}
 
 	for i, r := range arrivals.Rates() {
 		res.Rate.Append(units.Time(i)*arrivals.Width, float64(r))

@@ -70,6 +70,28 @@ type SweepConfig struct {
 	// SweepKey for the non-packet engines: fluid and packet cells never
 	// share a checkpoint.
 	Backend string
+	// Retry is the transient-failure retry policy: cells that trip a
+	// host-condition guard (wall budget, heap guard, per-job deadline) are
+	// re-run up to Retry.Max times with seed-derived backoff before
+	// quarantining or degrading. Deterministic failures (panics, invariant
+	// violations, event-budget trips) never retry. A runtime knob: not
+	// part of the SweepKey, since retrying cannot change what a cell
+	// computes — only whether it completes.
+	Retry runner.Retry
+	// Degrade enables the degraded-fidelity fallback: a packet-backend
+	// cell that exhausts its retry budget on a transient failure is
+	// recomputed on the fluid solver where the analytic model vouches for
+	// it (see runDegradedRepeat), with the cause recorded in the cell's
+	// provenance. Part of the SweepKey: degraded cells hold fluid-computed
+	// values, so degrading and non-degrading sweeps never share a
+	// checkpoint.
+	Degrade bool
+	// failInject, when non-nil, is consulted before generating job's
+	// scenario on each primary-path attempt (1-based) and its non-nil
+	// return fails the attempt — the deterministic stand-in for
+	// host-condition trouble in retry tests. Never applied to degraded
+	// fallback runs.
+	failInject func(job, attempt int) error
 }
 
 // supported fat-tree census: the arities the topology builder and its pinned
@@ -195,6 +217,15 @@ type SweepResult struct {
 	// the surviving cells; a non-empty list means the sweep is incomplete
 	// and callers should exit non-zero after reporting it.
 	Failures []CellFailure
+	// Retried lists the cells whose transient failures were absorbed by
+	// the retry policy, in job order; Degraded the cells whose values came
+	// from the degraded-fidelity fallback. Both fold the runner's
+	// provenance, so resumes report the same history as the original run.
+	Retried  []CellRetries
+	Degraded []DegradedCell
+	// Salvage, when non-nil, reports checkpoint lines the resume had to
+	// discard (corrupt or torn); the dropped cells were recomputed.
+	Salvage *runner.Salvage
 }
 
 // CellFailure is one quarantined sweep cell: the scenario job index, the
@@ -358,6 +389,11 @@ func SweepKey(fc FC, cfg SweepConfig) string {
 		// identity, fluid/auto sweeps get their own.
 		key += "/backend=" + cfg.Backend
 	}
+	if cfg.Degrade {
+		// Degraded cells carry fluid-computed values, so a degrading sweep
+		// must not replay (or be replayed by) a strict one.
+		key += "/degrade=1"
+	}
 	return key
 }
 
@@ -405,7 +441,14 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 	jobs := make([]runner.Job[*scenarioOutcome], cfg.Networks)
 	for i := 0; i < cfg.Networks; i++ {
 		i := i
+		attempt := 0 // owned by one worker at a time; retries re-enter serially
 		jobs[i] = func(ctx context.Context) (*scenarioOutcome, error) {
+			attempt++
+			if inj := cfg.failInject; inj != nil {
+				if err := inj(i, attempt); err != nil {
+					return nil, err
+				}
+			}
 			topo, tab, prone := GenerateScenario(cfg.K, cfg.FailureProb, cfg.seedOf(i))
 			if !prone {
 				return nil, nil
@@ -421,11 +464,20 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 			return sc, nil
 		}
 	}
-	opts := runner.Options{
+	opts := runner.Options[*scenarioOutcome]{
 		Workers:    cfg.Workers,
 		JobTimeout: cfg.JobTimeout,
 		Seed:       cfg.seedOf,
+		Retry:      cfg.Retry,
+		Classify:   ClassifyCellFailure,
 	}
+	if cfg.Degrade && cfg.Backend != "fluid" {
+		// A pure-fluid sweep has nothing lower-fidelity to fall back to.
+		opts.Degrade = func(ctx context.Context, job int, _ error) (*scenarioOutcome, error) {
+			return runDegradedCell(ctx, fc, cfg, job)
+		}
+	}
+	out := &SweepResult{FC: fc, K: cfg.K}
 	if cfg.Checkpoint != "" {
 		st, err := runner.OpenStore(cfg.Checkpoint, SweepKey(fc, cfg))
 		if err != nil {
@@ -433,11 +485,23 @@ func RunSweep(ctx context.Context, fc FC, cfg SweepConfig) (*SweepResult, error)
 		}
 		defer st.Close()
 		opts.Checkpoint = st
+		if sv := st.Salvage(); sv.Dropped > 0 {
+			out.Salvage = &sv
+		}
 	}
 	results := runner.RunWith(ctx, jobs, opts)
 
-	out := &SweepResult{FC: fc, K: cfg.K}
 	for job, jr := range results {
+		if prov := jr.Prov; prov != nil {
+			if len(prov.Retries) > 0 {
+				out.Retried = append(out.Retried, CellRetries{
+					Job: job, Attempts: prov.Attempts, Retries: prov.Retries,
+				})
+			}
+			if prov.Degraded != "" {
+				out.Degraded = append(out.Degraded, DegradedCell{Job: job, Cause: prov.Degraded})
+			}
+		}
 		if err := jr.Err; err != nil {
 			if errors.Is(err, context.Canceled) {
 				continue // cut short, not a verdict: a resume re-runs it

@@ -3,6 +3,7 @@ package netsim
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,12 @@ type Budget struct {
 	// 4096. Checks are O(flows), so the default keeps overhead well under
 	// a percent while bounding detection latency.
 	CheckEvery uint64
+	// MaxHeap is the OOM guard: if the Go heap (runtime.MemStats.HeapAlloc)
+	// exceeds this many bytes at a governor check, the run stops with
+	// StopHeapBudget before the kernel's OOM killer takes the whole sweep
+	// process down. The heap is sampled only every heapCheckStride-th check
+	// (ReadMemStats stops the world briefly); 0 disables the guard.
+	MaxHeap uint64
 }
 
 // Overlay returns b with every field that o sets replaced by o's value —
@@ -51,6 +58,9 @@ func (b Budget) Overlay(o Budget) Budget {
 	}
 	if o.CheckEvery != 0 {
 		b.CheckEvery = o.CheckEvery
+	}
+	if o.MaxHeap != 0 {
+		b.MaxHeap = o.MaxHeap
 	}
 	return b
 }
@@ -69,6 +79,8 @@ const (
 	// StopStalled: the livelock watchdog saw Budget.StallEvents events
 	// with no sim-time or delivery progress.
 	StopStalled
+	// StopHeapBudget: the Go heap exceeded Budget.MaxHeap (OOM guard).
+	StopHeapBudget
 )
 
 func (r StopReason) String() string {
@@ -81,6 +93,8 @@ func (r StopReason) String() string {
 		return "wall-clock budget exhausted"
 	case StopStalled:
 		return "stalled (livelock watchdog)"
+	case StopHeapBudget:
+		return "heap budget exhausted (OOM guard)"
 	default:
 		return fmt.Sprintf("stop reason(%d)", r)
 	}
@@ -151,6 +165,13 @@ type ChannelDump struct {
 // ones, not all of them.
 const maxSnapshotChannels = 64
 
+// heapCheckStride spaces out the OOM guard's ReadMemStats calls: the heap
+// is sampled on every heapCheckStride-th governor check (including the
+// first), because ReadMemStats briefly stops the world and a per-check call
+// would dominate governor overhead. At the default CheckEvery of 4096 this
+// samples every ~256k events — far faster than a leaking run grows gigabytes.
+const heapCheckStride = 64
+
 // Snapshot is the flight-recorder state attached to a RunError: enough to
 // localise a wedged or runaway run without re-running it under a debugger.
 type Snapshot struct {
@@ -170,9 +191,12 @@ type Snapshot struct {
 
 	// Channels lists the non-idle channels (occupied ingress or backlogged
 	// egress), ordered by (node, port, priority) and capped at
-	// maxSnapshotChannels; ChannelsTruncated counts the omitted ones.
+	// maxSnapshotChannels; ChannelsTruncated counts the omitted ones and
+	// ChannelsNonIdle the fabric-wide total, so a capped dump is never
+	// misread as the complete picture.
 	Channels          []ChannelDump `json:"channels,omitempty"`
 	ChannelsTruncated int           `json:"channels_truncated,omitempty"`
+	ChannelsNonIdle   int           `json:"channels_non_idle,omitempty"`
 }
 
 // String renders the snapshot as a human-readable flight-recorder report.
@@ -196,7 +220,8 @@ func (s *Snapshot) String() string {
 		b.WriteString("\n")
 	}
 	if s.ChannelsTruncated > 0 {
-		fmt.Fprintf(&b, "  ... %d more non-idle channels\n", s.ChannelsTruncated)
+		fmt.Fprintf(&b, "  ... %d more non-idle channels (%d of %d shown)\n",
+			s.ChannelsTruncated, len(s.Channels), s.ChannelsNonIdle)
 	}
 	return b.String()
 }
@@ -229,6 +254,7 @@ func (n *Network) Snapshot() *Snapshot {
 				if occ == 0 && queued == 0 {
 					continue
 				}
+				s.ChannelsNonIdle++
 				if len(s.Channels) >= maxSnapshotChannels {
 					s.ChannelsTruncated++
 					continue
@@ -279,6 +305,7 @@ func (n *Network) RunBounded(ctx context.Context, until units.Time, b Budget) er
 	lastDelivered := n.TotalDelivered()
 	lastDrops := n.drops
 	stallSince := start
+	var ticks uint64
 
 	var trip *RunError
 	eng.SetHook(check, func() bool {
@@ -295,6 +322,15 @@ func (n *Network) RunBounded(ctx context.Context, until units.Time, b Budget) er
 			trip = &RunError{Reason: StopWallBudget}
 			return false
 		}
+		if b.MaxHeap > 0 && ticks%heapCheckStride == 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > b.MaxHeap {
+				trip = &RunError{Reason: StopHeapBudget}
+				return false
+			}
+		}
+		ticks++
 		if b.StallEvents > 0 {
 			now, delivered, drops := eng.Now(), n.TotalDelivered(), n.drops
 			if now != lastNow || delivered != lastDelivered || drops != lastDrops {

@@ -212,3 +212,74 @@ func TestSnapshotCensusAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestHeapBudgetTrips(t *testing.T) {
+	n := governedNet(t, baseConfig(gfcFactory()))
+	// A livelock chain keeps events firing forever; a 1-byte heap budget
+	// trips on the first sampled check (tick 0 is always sampled).
+	eng := n.Engine()
+	var spin func()
+	spin = func() { eng.After(0, spin) }
+	eng.Schedule(0, spin)
+	err := n.RunBounded(context.Background(), units.Never, Budget{
+		MaxHeap: 1, CheckEvery: 64,
+	})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Reason != StopHeapBudget {
+		t.Fatalf("reason = %v, want heap budget", re.Reason)
+	}
+	if re.Snapshot == nil {
+		t.Fatal("no flight-recorder snapshot attached")
+	}
+	if !strings.Contains(re.Error(), "heap budget") {
+		t.Fatalf("error text %q", re.Error())
+	}
+}
+
+func TestHeapBudgetGenerousDoesNotTrip(t *testing.T) {
+	n := governedNet(t, baseConfig(gfcFactory()))
+	if err := n.RunBounded(context.Background(), units.Millisecond, Budget{
+		MaxHeap: 64 << 30, CheckEvery: 64,
+	}); err != nil {
+		t.Fatalf("64 GiB heap budget tripped on a 2-host run: %v", err)
+	}
+}
+
+func TestSnapshotChannelAccounting(t *testing.T) {
+	// On any snapshot, shown + truncated must equal the non-idle total, and
+	// a dump under the cap must not be marked truncated.
+	topo := topology.TwoToOne(topology.DefaultLinkParams())
+	n, err := New(topo, baseConfig(gfcFactory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range []string{"H1", "H2"} {
+		if err := n.AddFlow(spfFlow(t, topo, i+1, src, "H3", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run(5 * units.Millisecond)
+	s := n.Snapshot()
+	if s.ChannelsNonIdle == 0 {
+		t.Fatal("congested merge reports zero non-idle channels")
+	}
+	if got := len(s.Channels) + s.ChannelsTruncated; got != s.ChannelsNonIdle {
+		t.Fatalf("shown %d + truncated %d != non-idle %d",
+			len(s.Channels), s.ChannelsTruncated, s.ChannelsNonIdle)
+	}
+	if s.ChannelsNonIdle <= maxSnapshotChannels && s.ChannelsTruncated != 0 {
+		t.Fatalf("under-cap snapshot claims %d truncated channels", s.ChannelsTruncated)
+	}
+	// A capped snapshot renders its accounting; force one by shrinking the
+	// comparison instead of building a huge net: verify the String path on
+	// a synthetic over-cap snapshot.
+	big := &Snapshot{ChannelsNonIdle: 100, ChannelsTruncated: 36}
+	big.Channels = make([]ChannelDump, maxSnapshotChannels)
+	out := big.String()
+	if !strings.Contains(out, "36 more non-idle channels (64 of 100 shown)") {
+		t.Fatalf("truncation accounting missing from rendering:\n%s", out)
+	}
+}

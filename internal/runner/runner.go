@@ -16,9 +16,11 @@
 //     down the process (one pathological scenario must not kill a sweep).
 //
 // RunWith layers sweep resilience on the same pool: per-job deadlines,
-// and a checkpoint Store that records each completed cell as it finishes
+// a checkpoint Store that records each completed cell as it finishes
 // so an interrupted sweep resumes by replaying recorded results instead of
-// recomputing them.
+// recomputing them, classified retries with seed-derived backoff for
+// transient failures (retry.go), and a degraded-fidelity fallback hook for
+// cells that exhaust their retry budget.
 package runner
 
 import (
@@ -45,6 +47,10 @@ type Result[T any] struct {
 	// case wrapped as "job %d: ..." so a failed sweep names the offending
 	// cell. errors.Is/As see through the wrapping.
 	Err error
+	// Prov records retry and degradation provenance; nil for cells that
+	// succeeded on their first attempt at full fidelity. It round-trips
+	// through the checkpoint, so replayed cells carry the same history.
+	Prov *Provenance
 }
 
 // PanicError wraps a recovered job panic so a sweep survives a pathological
@@ -65,14 +71,17 @@ type ReplayedError struct{ Msg string }
 
 func (e *ReplayedError) Error() string { return e.Msg }
 
-// Options configures RunWith.
-type Options struct {
+// Options configures RunWith. It is generic in the job result type so the
+// degraded-fidelity fallback can produce a typed value.
+type Options[T any] struct {
 	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// JobTimeout, when non-zero, derives a per-job deadline context for
-	// each job. A job that honours its context (e.g. via
-	// netsim.RunBounded) then fails with context.DeadlineExceeded and is
-	// quarantined like any other failed cell; the sweep continues.
+	// each attempt of each job (retries get a fresh deadline). A job that
+	// honours its context (e.g. via netsim.RunBounded) then fails with
+	// context.DeadlineExceeded — a transient failure under the default
+	// classification, so it is retried within Retry's budget and
+	// quarantined only when that is exhausted.
 	JobTimeout time.Duration
 	// Checkpoint, when non-nil, is consulted before each job (a recorded
 	// cell is replayed, not recomputed) and appended to as cells complete.
@@ -80,8 +89,24 @@ type Options struct {
 	// re-runs them.
 	Checkpoint *Store
 	// Seed, when non-nil, supplies the seed recorded in checkpoint
-	// entries for job i (diagnostic provenance; replay does not use it).
+	// entries for job i; it also derives the cell's backoff jitter, which
+	// is what makes retry sequencing reproducible (replay does not use it).
 	Seed func(job int) int64
+	// Retry is the transient-failure retry policy; the zero value
+	// disables retrying.
+	Retry Retry
+	// Classify buckets a job error for the retry policy; nil means
+	// DefaultClassify. Callers whose jobs surface richer error types
+	// (governor trips, invariant violations) install their own taxonomy.
+	Classify func(error) FailureClass
+	// Degrade, when non-nil, is consulted after a job exhausts its retry
+	// budget on a transient failure: it may recompute the cell at
+	// degraded fidelity (e.g. the fluid backend) and return the fallback
+	// value. On success the cell's Provenance records the causing error
+	// in Degraded; on failure the cell quarantines with both errors. It
+	// runs under a fresh JobTimeout deadline and with panic capture, like
+	// any attempt.
+	Degrade func(ctx context.Context, job int, cause error) (T, error)
 }
 
 // Run executes jobs on a pool of workers and returns their results in job
@@ -91,14 +116,15 @@ type Options struct {
 // count. When ctx is cancelled, jobs not yet started report ctx's error;
 // already-running jobs finish normally.
 func Run[T any](ctx context.Context, jobs []Job[T], workers int) []Result[T] {
-	return RunWith(ctx, jobs, Options{Workers: workers})
+	return RunWith(ctx, jobs, Options[T]{Workers: workers})
 }
 
-// RunWith is Run with sweep-resilience options: per-job deadlines and
-// checkpoint/resume. The determinism contract is unchanged — for a given
-// (jobs, checkpoint state) the result slice is identical for every worker
+// RunWith is Run with sweep-resilience options: per-job deadlines,
+// checkpoint/resume, classified retries and degraded-fidelity fallback.
+// The determinism contract is unchanged — for a given (jobs, checkpoint
+// state, failure pattern) the result slice is identical for every worker
 // count.
-func RunWith[T any](ctx context.Context, jobs []Job[T], opts Options) []Result[T] {
+func RunWith[T any](ctx context.Context, jobs []Job[T], opts Options[T]) []Result[T] {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -133,9 +159,10 @@ func RunWith[T any](ctx context.Context, jobs []Job[T], opts Options) []Result[T
 }
 
 // runIndexed runs job i through the resilience pipeline: checkpoint replay,
-// cancellation skip, per-job deadline, panic capture, job-index error
-// wrapping, and checkpoint recording.
-func runIndexed[T any](ctx context.Context, i int, job Job[T], opts *Options) Result[T] {
+// cancellation skip, classified retries with per-attempt deadlines and
+// panic capture, degraded-fidelity fallback, job-index error wrapping, and
+// checkpoint recording.
+func runIndexed[T any](ctx context.Context, i int, job Job[T], opts *Options[T]) Result[T] {
 	if cp := opts.Checkpoint; cp != nil {
 		if e, ok := cp.Lookup(i); ok {
 			return replay[T](e)
@@ -144,26 +171,70 @@ func runIndexed[T any](ctx context.Context, i int, job Job[T], opts *Options) Re
 	if err := ctx.Err(); err != nil {
 		return Result[T]{Err: fmt.Errorf("job %d: %w", i, err)}
 	}
-	jctx := ctx
-	if opts.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, opts.JobTimeout)
-		defer cancel()
+	var seed int64
+	if opts.Seed != nil {
+		seed = opts.Seed(i)
 	}
-	res := runOne(jctx, job)
+	classify := opts.Classify
+	if classify == nil {
+		classify = DefaultClassify
+	}
+	val, prov, err := Supervise(ctx, seed, opts.Retry, classify, func(actx context.Context) (T, error) {
+		return runAttempt(actx, job, opts.JobTimeout)
+	})
+	res := Result[T]{Value: val, Err: err, Prov: prov}
+	if err != nil && opts.Degrade != nil && classify(err) == ClassTransient {
+		res = degradeJob(ctx, i, err, prov, opts)
+	}
 	if res.Err != nil {
 		res.Err = fmt.Errorf("job %d: %w", i, res.Err)
 	}
 	if cp := opts.Checkpoint; cp != nil && !skipRecord(res.Err) {
-		var seed int64
-		if opts.Seed != nil {
-			seed = opts.Seed(i)
-		}
 		// A failed write must not corrupt the in-memory result; the
 		// checkpoint is best-effort durability, not the source of truth.
-		_ = cp.Record(i, seed, res.Value, res.Err)
+		_ = cp.Record(i, seed, res.Value, res.Err, res.Prov)
 	}
 	return res
+}
+
+// runAttempt is one primary-path attempt: a fresh JobTimeout deadline (so
+// retries are not charged for earlier attempts' time) around the job.
+// Panic capture happens in runOne, inside Supervise.
+func runAttempt[T any](ctx context.Context, job Job[T], timeout time.Duration) (T, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return job(ctx)
+}
+
+// degradeJob invokes the degraded-fidelity fallback for a job whose retry
+// budget was exhausted by the transient cause. A successful fallback value
+// carries the cause in its Provenance; a failed one quarantines the cell
+// with both errors, keeping the original cause unwrappable (errors.As
+// still finds its flight-recorder snapshot). A cancellation mid-fallback
+// is a skip, like any cancelled cell.
+func degradeJob[T any](ctx context.Context, i int, cause error, prov *Provenance, opts *Options[T]) Result[T] {
+	dres := runOne(ctx, func(dctx context.Context) (T, error) {
+		return runAttempt(dctx, func(actx context.Context) (T, error) {
+			return opts.Degrade(actx, i, cause)
+		}, opts.JobTimeout)
+	})
+	if prov == nil {
+		prov = &Provenance{Attempts: 1}
+	}
+	if dres.Err == nil {
+		prov.Degraded = cause.Error()
+		return Result[T]{Value: dres.Value, Prov: prov}
+	}
+	if errors.Is(dres.Err, context.Canceled) {
+		return Result[T]{Err: dres.Err, Prov: prov}
+	}
+	return Result[T]{
+		Err:  fmt.Errorf("%w; degraded-fidelity fallback failed: %v", cause, dres.Err),
+		Prov: prov,
+	}
 }
 
 // skipRecord reports whether a job outcome must stay out of the checkpoint:
@@ -177,9 +248,10 @@ func skipRecord(err error) bool {
 // replay converts a checkpoint entry back into a Result. The recorded error
 // string (already carrying its "job %d:" prefix) comes back as a
 // *ReplayedError; values round-trip through JSON bit-identically (Go emits
-// the shortest float form that re-parses exactly).
+// the shortest float form that re-parses exactly), and retry/degradation
+// provenance rides along so a resumed sweep reports the same history.
 func replay[T any](e Entry) Result[T] {
-	var res Result[T]
+	res := Result[T]{Prov: e.Prov}
 	if e.Err != "" {
 		res.Err = &ReplayedError{Msg: e.Err}
 		return res

@@ -177,7 +177,7 @@ func TestJobTimeoutQuarantines(t *testing.T) {
 		},
 		func(context.Context) (int, error) { return 3, nil },
 	}
-	res := RunWith(context.Background(), jobs, Options{Workers: 1, JobTimeout: 10 * time.Millisecond})
+	res := RunWith(context.Background(), jobs, Options[int]{Workers: 1, JobTimeout: 10 * time.Millisecond})
 	if res[0].Value != 1 || res[2].Value != 3 {
 		t.Fatal("deadline-blown cell disturbed its siblings")
 	}
@@ -214,7 +214,7 @@ func TestCancellationOrdering(t *testing.T) {
 		<-ctx.Done()
 		close(release) // let in-flight jobs finish after the cancel
 	}()
-	res := RunWith(ctx, jobs, Options{Workers: workers})
+	res := RunWith(ctx, jobs, Options[int]{Workers: workers})
 	var done, skipped int
 	for i, r := range res {
 		switch {

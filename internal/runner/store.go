@@ -4,18 +4,47 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
 )
 
 // This file is the checkpoint store: an append-only JSONL file recording
-// each completed sweep cell as (job index, sweep key, seed, value-or-error).
-// One line per cell, flushed as cells complete, so a killed sweep loses at
-// most the in-flight cells. On reopen the store tolerates a torn final line
-// (the signature of a mid-write kill), ignores entries whose key does not
-// match (a checkpoint from a differently-configured sweep must not poison
-// this one), and lets the last entry for a job win.
+// each completed sweep cell as (job index, sweep key, seed, value-or-error,
+// provenance). One line per cell, flushed as cells complete, so a killed
+// sweep loses at most the in-flight cells.
+//
+// Format v2 opens the file with a versioned header line and wraps every
+// entry in an envelope carrying the CRC32-IEEE of the entry's JSON, so a
+// mid-file bit flip — not just a torn final line — is detected instead of
+// silently poisoning a resume. On reopen the store salvages the longest
+// valid prefix: scanning stops at the first corrupt line, everything after
+// it is truncated away (those cells recompute, which is cheap and always
+// correct), and the damage is reported via Salvage instead of crashing.
+// Headerless v1 files (written before the CRC format) still load with the
+// old tolerant scan and keep appending v1 lines, so existing checkpoints
+// stay resumable.
+
+// storeVersion is the checkpoint format this build writes.
+const storeVersion = 2
+
+// storeHeader is the first line of a v2+ checkpoint file. The field name
+// doubles as the magic: v1 files start with an entry object that has no
+// "gfc_checkpoint" key.
+type storeHeader struct {
+	Version int    `json:"gfc_checkpoint"`
+	CRC     string `json:"crc,omitempty"`
+}
+
+// envelope is one v2 entry line: the entry's JSON plus its CRC32-IEEE.
+// The CRC covers the exact bytes of E as written, so any mutation — a bit
+// flip inside the entry, a truncated tail, garbage splices — fails the
+// check even when the result is still valid JSON.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	E   json.RawMessage `json:"e"`
+}
 
 // Entry is one checkpoint line.
 type Entry struct {
@@ -30,6 +59,20 @@ type Entry struct {
 	Value json.RawMessage `json:"value,omitempty"`
 	// Err is the cell's rendered error; empty when the cell succeeded.
 	Err string `json:"err,omitempty"`
+	// Prov records the cell's retry/degradation history; nil for cells
+	// that succeeded first try at full fidelity.
+	Prov *Provenance `json:"prov,omitempty"`
+}
+
+// Salvage reports what OpenStore had to discard to recover a checkpoint:
+// the number of corrupt or torn lines dropped and a description of the
+// first corruption. The zero value means a clean open.
+type Salvage struct {
+	// Dropped counts discarded lines (each at most one cell, which the
+	// resumed sweep recomputes).
+	Dropped int `json:"dropped"`
+	// Reason describes the first corruption encountered.
+	Reason string `json:"reason,omitempty"`
 }
 
 // Store is a checkpoint file opened for resume-and-append. Record is safe
@@ -39,12 +82,18 @@ type Store struct {
 	f    *os.File
 	key  string
 	done map[int]Entry
+	// legacy marks a headerless v1 file: appends stay in v1 format so the
+	// whole file remains consistently parseable by either reader.
+	legacy  bool
+	salvage Salvage
 }
 
 // OpenStore opens (creating if absent) the checkpoint at path for the sweep
 // identified by key. Existing entries with a matching key become replayable
-// via Lookup; a torn final line is truncated away so subsequent appends
-// stay parseable, and unparseable interior lines are skipped.
+// via Lookup. Corruption never fails the open: a torn final line, a CRC
+// mismatch or an unparseable line drops the damaged suffix (v2) or line
+// (v1), the store truncates to the salvaged prefix so appends stay
+// parseable, and Salvage reports what was lost.
 func OpenStore(path, key string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -55,31 +104,130 @@ func OpenStore(path, key string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("runner: reading checkpoint %s: %w", path, err)
 	}
-	// Keep only whole, newline-terminated lines; anything after the last
-	// newline is a torn write from a killed sweep.
-	valid := bytes.LastIndexByte(data, '\n') + 1
 	s := &Store{f: f, key: key, done: make(map[int]Entry)}
-	for _, line := range bytes.Split(data[:valid], []byte{'\n'}) {
-		if len(line) == 0 {
-			continue
-		}
-		var e Entry
-		if json.Unmarshal(line, &e) != nil || e.Key != key || e.Job < 0 {
-			continue
-		}
-		s.done[e.Job] = e
-	}
+	// Anything after the last newline is a torn write from a killed sweep.
+	valid := bytes.LastIndexByte(data, '\n') + 1
 	if valid != len(data) {
+		s.noteDrop("torn final line (mid-write kill)")
+	}
+	valid = s.scan(data[:valid])
+	if int64(valid) != int64(len(data)) || s.salvage.Dropped > 0 {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("runner: trimming torn checkpoint line: %w", err)
+			return nil, fmt.Errorf("runner: trimming corrupt checkpoint tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
 	}
+	if !s.legacy && valid == 0 {
+		if err := s.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// scan parses the whole-line region of the file, fills done, and returns
+// the byte length of the valid prefix to keep. Headerless non-empty files
+// are v1: every line is scanned and bad ones are skipped (there is no
+// integrity information to trust a prefix by). v2 files stop at the first
+// corrupt line — the CRC makes "valid so far" meaningful — and count the
+// dropped suffix.
+func (s *Store) scan(data []byte) int {
+	if len(data) == 0 {
+		return 0
+	}
+	var hdr storeHeader
+	firstLen := bytes.IndexByte(data, '\n') + 1
+	if json.Unmarshal(data[:firstLen-1], &hdr) != nil || hdr.Version < storeVersion {
+		s.legacy = true
+		s.scanLegacy(data)
+		return len(data)
+	}
+	off := firstLen
+	end := firstLen
+	line := 1
+	for off < len(data) {
+		line++
+		nl := bytes.IndexByte(data[off:], '\n')
+		raw := data[off : off+nl]
+		next := off + nl + 1
+		if len(raw) == 0 {
+			off, end = next, next
+			continue
+		}
+		var env envelope
+		var e Entry
+		switch {
+		case json.Unmarshal(raw, &env) != nil || env.E == nil:
+			s.noteDrop(fmt.Sprintf("line %d: unparseable envelope", line))
+		case crc32.ChecksumIEEE(env.E) != env.CRC:
+			s.noteDrop(fmt.Sprintf("line %d: CRC mismatch (recorded %08x)", line, env.CRC))
+		case json.Unmarshal(env.E, &e) != nil || e.Job < 0:
+			s.noteDrop(fmt.Sprintf("line %d: CRC-clean but undecodable entry", line))
+		default:
+			if e.Key == s.key {
+				s.done[e.Job] = e
+			}
+			off, end = next, next
+			continue
+		}
+		// First corruption: drop this line and everything after it — the
+		// longest valid prefix is all that integrity can vouch for.
+		s.salvage.Dropped += bytes.Count(data[next:], []byte{'\n'})
+		return end
+	}
+	return end
+}
+
+// scanLegacy is the v1 tolerant scan: skip (and count) unparseable lines,
+// ignore key mismatches, last entry per job wins.
+func (s *Store) scanLegacy(data []byte) {
+	line := 0
+	for _, raw := range bytes.Split(data, []byte{'\n'}) {
+		line++
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if json.Unmarshal(raw, &e) != nil || e.Job < 0 {
+			s.noteDrop(fmt.Sprintf("line %d: unparseable v1 entry", line))
+			continue
+		}
+		if e.Key != s.key {
+			continue
+		}
+		s.done[e.Job] = e
+	}
+}
+
+// noteDrop counts one discarded line, keeping the first reason.
+func (s *Store) noteDrop(reason string) {
+	if s.salvage.Dropped == 0 {
+		s.salvage.Reason = reason
+	}
+	s.salvage.Dropped++
+}
+
+// writeHeader stamps a fresh (or fully-salvaged-away) file as v2.
+func (s *Store) writeHeader() error {
+	line, err := json.Marshal(storeHeader{Version: storeVersion, CRC: "ieee"})
+	if err != nil {
+		return err
+	}
+	_, err = s.f.Write(append(line, '\n'))
+	return err
+}
+
+// Salvage reports what the open discarded; Dropped == 0 means the
+// checkpoint loaded clean.
+func (s *Store) Salvage() Salvage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.salvage
 }
 
 // Lookup returns the recorded entry for a job, if any.
@@ -98,10 +246,11 @@ func (s *Store) Done() int {
 }
 
 // Record appends one completed cell. Exactly one of value (jobErr == nil)
-// or jobErr is recorded. The line is written in a single Write call so a
-// kill between cells never tears more than the final line.
-func (s *Store) Record(job int, seed int64, value any, jobErr error) error {
-	e := Entry{Job: job, Key: s.key, Seed: seed}
+// or jobErr is recorded, along with the cell's retry/degradation
+// provenance. The line is written in a single Write call so a kill between
+// cells never tears more than the final line.
+func (s *Store) Record(job int, seed int64, value any, jobErr error, prov *Provenance) error {
+	e := Entry{Job: job, Key: s.key, Seed: seed, Prov: prov}
 	if jobErr != nil {
 		e.Err = jobErr.Error()
 	} else {
@@ -111,9 +260,16 @@ func (s *Store) Record(job int, seed int64, value any, jobErr error) error {
 		}
 		e.Value = raw
 	}
-	line, err := json.Marshal(e)
+	raw, err := json.Marshal(e)
 	if err != nil {
 		return err
+	}
+	line := raw
+	if !s.legacy {
+		line, err = json.Marshal(envelope{CRC: crc32.ChecksumIEEE(raw), E: raw})
+		if err != nil {
+			return err
+		}
 	}
 	line = append(line, '\n')
 	s.mu.Lock()

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -42,7 +45,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.ckpt")
 
 	// Uninterrupted reference run, no checkpoint.
-	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: 1})
+	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options[cell]{Workers: 1})
 
 	// First pass: record only the first half, simulating an interrupt by
 	// running a truncated job list.
@@ -51,7 +54,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := func(i int) int64 { return int64(i)*1e9 + 7 }
-	RunWith(context.Background(), cellJobs(t, n/2, nil), Options{Workers: 2, Checkpoint: st, Seed: seed})
+	RunWith(context.Background(), cellJobs(t, n/2, nil), Options[cell]{Workers: 2, Checkpoint: st, Seed: seed})
 	if st.Done() != n/2 {
 		t.Fatalf("recorded %d cells, want %d", st.Done(), n/2)
 	}
@@ -67,7 +70,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	}
 	defer st2.Close()
 	res := RunWith(context.Background(), cellJobs(t, n, func(i int) bool { return i >= n/2 }),
-		Options{Workers: 3, Checkpoint: st2, Seed: seed})
+		Options[cell]{Workers: 3, Checkpoint: st2, Seed: seed})
 	for i := range res {
 		if res[i].Value != ref[i].Value {
 			t.Fatalf("cell %d: resumed %+v != reference %+v", i, res[i].Value, res[i].Value)
@@ -96,7 +99,7 @@ func TestCheckpointKeyMismatchReruns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	RunWith(context.Background(), cellJobs(t, 4, nil), Options{Workers: 1, Checkpoint: st})
+	RunWith(context.Background(), cellJobs(t, 4, nil), Options[cell]{Workers: 1, Checkpoint: st})
 	st.Close()
 
 	// A different sweep key must not replay: stale entries are ignored.
@@ -110,7 +113,7 @@ func TestCheckpointKeyMismatchReruns(t *testing.T) {
 	}
 	ran := make([]bool, 4)
 	RunWith(context.Background(), cellJobs(t, 4, func(i int) bool { ran[i] = true; return true }),
-		Options{Workers: 1, Checkpoint: st2})
+		Options[cell]{Workers: 1, Checkpoint: st2})
 	for i, r := range ran {
 		if !r {
 			t.Fatalf("job %d not re-run under the new key", i)
@@ -125,7 +128,7 @@ func TestCheckpointTornLineTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := st.Record(i, int64(i), cell{N: i}, nil); err != nil {
+		if err := st.Record(i, int64(i), cell{N: i}, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +155,7 @@ func TestCheckpointTornLineTolerated(t *testing.T) {
 	}
 	// Appending after recovery must yield a parseable file: the torn tail
 	// was truncated away.
-	if err := st2.Record(3, 3, cell{N: 3}, nil); err != nil {
+	if err := st2.Record(3, 3, cell{N: 3}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	st2.Close()
@@ -186,7 +189,7 @@ func TestCheckpointSkipsCancelledCells(t *testing.T) {
 			return i, nil
 		}
 	}
-	res := RunWith(ctx, jobs, Options{Workers: 1, Checkpoint: st})
+	res := RunWith(ctx, jobs, Options[int]{Workers: 1, Checkpoint: st})
 	// Jobs 0-1 completed and were recorded; job 2 and the queued jobs were
 	// cancellation casualties and must NOT be in the checkpoint, so a
 	// resume re-runs them.
@@ -214,18 +217,18 @@ func TestCheckpointDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < n; i += 3 {
-			if err := st.Record(i, 0, cell{Mean: float64(i) / 7, N: i}, nil); err != nil {
+			if err := st.Record(i, 0, cell{Mean: float64(i) / 7, N: i}, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
 		return st
 	}
 	base := mk("a.ckpt")
-	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: 1, Checkpoint: base})
+	ref := RunWith(context.Background(), cellJobs(t, n, nil), Options[cell]{Workers: 1, Checkpoint: base})
 	base.Close()
 	for _, workers := range []int{2, 5, 0} {
 		st := mk(fmt.Sprintf("w%d.ckpt", workers))
-		got := RunWith(context.Background(), cellJobs(t, n, nil), Options{Workers: workers, Checkpoint: st})
+		got := RunWith(context.Background(), cellJobs(t, n, nil), Options[cell]{Workers: workers, Checkpoint: st})
 		st.Close()
 		for i := range got {
 			if got[i].Value != ref[i].Value {
@@ -248,7 +251,7 @@ func TestReplayedPanicNamesItsCell(t *testing.T) {
 		func(context.Context) (int, error) { return 0, nil },
 		func(context.Context) (int, error) { panic("cbd cycle wedged") },
 	}
-	RunWith(context.Background(), jobs, Options{Workers: 1, Checkpoint: st})
+	RunWith(context.Background(), jobs, Options[int]{Workers: 1, Checkpoint: st})
 	st.Close()
 	st2, err := OpenStore(path, "k")
 	if err != nil {
@@ -261,5 +264,232 @@ func TestReplayedPanicNamesItsCell(t *testing.T) {
 	}
 	if !strings.HasPrefix(e.Err, "job 1: ") || !strings.Contains(e.Err, "cbd cycle wedged") {
 		t.Fatalf("recorded panic %q lost its identity", e.Err)
+	}
+}
+
+// readLines splits a checkpoint file into its non-empty lines.
+func readLines(t *testing.T, path string) [][]byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines [][]byte
+	for _, l := range bytes.Split(data, []byte{'\n'}) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+func TestCheckpointV2HeaderAndEnvelope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(0, 7, cell{Mean: 0.25, N: 1}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	lines := readLines(t, path)
+	if len(lines) != 2 {
+		t.Fatalf("file has %d lines, want header + 1 entry", len(lines))
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Version != storeVersion {
+		t.Fatalf("header %s parses to %+v (err %v)", lines[0], hdr, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(lines[1], &env); err != nil {
+		t.Fatal(err)
+	}
+	if crc32.ChecksumIEEE(env.E) != env.CRC {
+		t.Fatal("recorded entry fails its own CRC")
+	}
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if sv := st2.Salvage(); sv.Dropped != 0 {
+		t.Fatalf("clean file salvaged: %+v", sv)
+	}
+	if e, ok := st2.Lookup(0); !ok || e.Seed != 7 {
+		t.Fatalf("entry 0 = %+v, %v", e, ok)
+	}
+}
+
+func TestCheckpointMidFileBitFlipSalvagesPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.Record(i, int64(i), cell{Mean: float64(i) / 3, N: i}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Flip one byte inside entry 2's value — still valid JSON shape-wise,
+	// but the CRC must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	target := lines[3] // header + entries 0,1 before it
+	i := bytes.Index(target, []byte(`"n":2`))
+	if i < 0 {
+		t.Fatalf("entry 2 layout changed: %s", target)
+	}
+	target[i+4] = '9'
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Done() != 2 {
+		t.Fatalf("salvaged %d cells, want the 2-entry valid prefix", st2.Done())
+	}
+	sv := st2.Salvage()
+	if sv.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4 (corrupt line + 3 after it)", sv.Dropped)
+	}
+	if !strings.Contains(sv.Reason, "CRC mismatch") {
+		t.Fatalf("Reason = %q", sv.Reason)
+	}
+	// Appending after salvage yields a clean file again.
+	for i := 2; i < 6; i++ {
+		if err := st2.Record(i, int64(i), cell{Mean: float64(i) / 3, N: i}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2.Close()
+	st3, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if st3.Done() != 6 || st3.Salvage().Dropped != 0 {
+		t.Fatalf("post-repair store: %d cells, salvage %+v", st3.Done(), st3.Salvage())
+	}
+}
+
+func TestCheckpointGarbageLineSalvagesPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Record(i, int64(i), cell{N: i}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\x00\x01 not json at all\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Done() != 3 {
+		t.Fatalf("salvaged %d cells, want 3", st2.Done())
+	}
+	sv := st2.Salvage()
+	if sv.Dropped != 1 || !strings.Contains(sv.Reason, "unparseable envelope") {
+		t.Fatalf("salvage = %+v", sv)
+	}
+}
+
+func TestCheckpointLegacyV1StillLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	// A v1 checkpoint: bare entry lines, no header, one of them mangled.
+	v1 := `{"job":0,"key":"k","seed":10,"value":{"mean":0.5,"p99":0,"n":0}}
+{"job":1,"key":"k","seed":11,"value":{"mean":1.5,"p99":0,"n":1}}
+not json
+{"job":2,"key":"k","seed":12,"err":"job 2: budget blown"}
+`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() != 3 {
+		t.Fatalf("legacy store loaded %d cells, want 3", st.Done())
+	}
+	sv := st.Salvage()
+	if sv.Dropped != 1 || !strings.Contains(sv.Reason, "v1") {
+		t.Fatalf("legacy salvage = %+v", sv)
+	}
+	if e, _ := st.Lookup(2); e.Err != "job 2: budget blown" {
+		t.Fatalf("entry 2 = %+v", e)
+	}
+	// Appends to a legacy file stay v1 so the whole file keeps one format.
+	if err := st.Record(3, 13, cell{N: 3}, nil, &Provenance{Attempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	lines := readLines(t, path)
+	last := lines[len(lines)-1]
+	var e Entry
+	if err := json.Unmarshal(last, &e); err != nil || e.Job != 3 {
+		t.Fatalf("legacy append is not a bare v1 entry: %s", last)
+	}
+	if e.Prov == nil || e.Prov.Attempts != 2 {
+		t.Fatalf("provenance lost on legacy append: %+v", e.Prov)
+	}
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Done() != 4 {
+		t.Fatalf("reopened legacy store has %d cells, want 4", st2.Done())
+	}
+}
+
+func TestCheckpointSalvageEverythingStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	// A v2 header followed immediately by garbage: the valid prefix is just
+	// the header, and the store must keep working.
+	if err := os.WriteFile(path, []byte("{\"gfc_checkpoint\":2,\"crc\":\"ieee\"}\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() != 0 || st.Salvage().Dropped != 1 {
+		t.Fatalf("store = %d cells, salvage %+v", st.Done(), st.Salvage())
+	}
+	if err := st.Record(0, 0, cell{N: 0}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := OpenStore(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Done() != 1 || st2.Salvage().Dropped != 0 {
+		t.Fatalf("recovered store = %d cells, salvage %+v", st2.Done(), st2.Salvage())
 	}
 }

@@ -60,6 +60,33 @@ func clos1024(fc FC) Spec {
 	}
 }
 
+// clos3456 returns the ROADMAP's scale-frontier scenario: a k=24 fat-tree
+// (3456 hosts, 720 switches) under the enterprise workload. A full run at
+// this scale is an hours-class job, so the declared Limits matter more than
+// at k=16: the event cap is ~4× a healthy 1 ms run extrapolated from the
+// measured clos1024 event rate (~3.5M events/ms at k=16, ~3.4× the fabric
+// here), the wall cap bounds a wedged cell at five minutes per governed
+// run, and the heap guard stops a leaking run well before the OOM killer
+// would take the whole sweep process with it.
+func clos3456(fc FC) Spec {
+	return Spec{
+		Name:        "clos3456-" + schemeSlug(fc),
+		Description: "k=24 fat-tree (3456 hosts), enterprise inter-rack workload, " + string(fc),
+		Seed:        1,
+		Topology:    TopologySpec{Builder: "fat-tree", K: 24},
+		Routing:     RoutingSpec{Policy: "spf"},
+		Workload:    WorkloadSpec{Generator: &GeneratorSpec{Dist: "enterprise"}},
+		Scheme:      SchemeSpec{FC: fc, Preset: "sim"},
+		Run:         RunSpec{DurationNs: units.Millisecond, DetectDeadlock: true},
+		Limits: &LimitsSpec{
+			MaxEvents:    50_000_000,
+			MaxWallMs:    300_000,
+			StallEvents:  5_000_000,
+			MaxHeapBytes: 8 << 30,
+		},
+	}
+}
+
 // twoToOne returns the Figure 5 congestion-control microbenchmark: two
 // senders share one receiver link through a single switch. It is the
 // smallest scenario with genuine flow-control dynamics, which makes it the
@@ -233,5 +260,9 @@ func init() {
 	// and each registered variant is a multi-minute full run.
 	for _, fc := range []FC{PFC, GFCBuf, GFCTime} {
 		Register(clos1024(fc))
+	}
+	// The k=24 frontier keeps the same three-scheme policy.
+	for _, fc := range []FC{PFC, GFCBuf, GFCTime} {
+		Register(clos3456(fc))
 	}
 }

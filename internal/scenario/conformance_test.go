@@ -38,6 +38,9 @@ var conformanceSkips = map[string]string{
 	"clos1024-pfc":                 "generator",
 	"clos1024-gfcbuf":              "generator",
 	"clos1024-gfctime":             "generator",
+	"clos3456-pfc":                 "generator",
+	"clos3456-gfcbuf":              "generator",
+	"clos3456-gfctime":             "generator",
 }
 
 // requireListedSkip asserts the skip (reason) was declared for name with a

@@ -201,6 +201,11 @@ type LimitsSpec struct {
 	// CheckEvery is the governor polling interval in events; 0 uses the
 	// netsim default.
 	CheckEvery uint64 `json:"check_every,omitempty"`
+	// MaxHeapBytes arms netsim's OOM guard: the run stops with a
+	// structured verdict if the Go heap exceeds this size, instead of
+	// letting one oversized scenario OOM-kill the whole sweep process.
+	// 0 disables the guard.
+	MaxHeapBytes int64 `json:"max_heap_bytes,omitempty"`
 }
 
 // Budget converts the declared limits to a netsim budget.
@@ -213,12 +218,16 @@ func (l *LimitsSpec) Budget() netsim.Budget {
 		MaxWall:     time.Duration(l.MaxWallMs) * time.Millisecond,
 		StallEvents: l.StallEvents,
 		CheckEvery:  l.CheckEvery,
+		MaxHeap:     uint64(max(l.MaxHeapBytes, 0)),
 	}
 }
 
 func (l *LimitsSpec) validate() error {
 	if l.MaxWallMs < 0 {
 		return fmt.Errorf("scenario: limits: negative max_wall_ms %d", l.MaxWallMs)
+	}
+	if l.MaxHeapBytes < 0 {
+		return fmt.Errorf("scenario: limits: negative max_heap_bytes %d", l.MaxHeapBytes)
 	}
 	return nil
 }
